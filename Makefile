@@ -1,0 +1,46 @@
+# Convenience targets for the renaming reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments experiments-quick figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the reproduction (minutes).
+experiments:
+	$(GO) run ./cmd/benchtables -svgdir docs/figures | tee bench_tables_full.txt
+
+experiments-quick:
+	$(GO) run ./cmd/benchtables -quick
+
+figures:
+	$(GO) run ./cmd/benchtables -svgdir docs/figures > /dev/null
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cryptonet
+	$(GO) run ./examples/faultsweep
+	$(GO) run ./examples/byzantine
+	$(GO) run ./examples/adaptive
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,372 @@
+// Benchmarks regenerating the paper's quantitative artifacts, one per
+// table/figure of the experiment index in DESIGN.md §4. Every benchmark
+// reports the domain metrics the paper's claims are about (messages,
+// bits, rounds) via b.ReportMetric, so `go test -bench=. -benchmem`
+// doubles as the reproduction harness at benchmark scale; cmd/benchtables
+// prints the full formatted tables.
+package renaming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"renaming"
+	"renaming/internal/lowerbound"
+)
+
+func reportCrash(b *testing.B, res *renaming.Result) {
+	b.Helper()
+	if !res.Unique {
+		b.Fatal("renaming failed")
+	}
+	b.ReportMetric(float64(res.Messages), "msgs/run")
+	b.ReportMetric(float64(res.Bits), "bits/run")
+	b.ReportMetric(float64(res.Rounds), "rounds")
+	b.ReportMetric(float64(res.Crashes), "f")
+}
+
+func reportByz(b *testing.B, res *renaming.Result) {
+	b.Helper()
+	if !res.Unique || !res.OrderPreserving {
+		b.Fatal("renaming failed")
+	}
+	b.ReportMetric(float64(res.HonestMessages), "msgs/run")
+	b.ReportMetric(float64(res.HonestBits), "bits/run")
+	b.ReportMetric(float64(res.Rounds), "rounds")
+	b.ReportMetric(float64(res.Iterations), "iters")
+}
+
+// BenchmarkTable1 is E1: one sub-benchmark per Table 1 row.
+func BenchmarkTable1(b *testing.B) {
+	const n = 96
+	b.Run("crash-f0", func(b *testing.B) {
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: 1, CommitteeScale: 0.03})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCrash(b, res)
+	})
+	b.Run("crash-killer", func(b *testing.B) {
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: 2, CommitteeScale: 0.03,
+				Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: n / 4, MidSend: true}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCrash(b, res)
+	})
+	b.Run("baseline-alltoall", func(b *testing.B) {
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCrash(b, res)
+	})
+	b.Run("baseline-collectsort", func(b *testing.B) {
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineCollectSort, Seed: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCrash(b, res)
+	})
+	b.Run("byzantine-f4", func(b *testing.B) {
+		byz := map[int]renaming.Behavior{1: renaming.BehaviorSplitWorld, 4: renaming.BehaviorSplitWorld,
+			7: renaming.BehaviorSplitWorld, 10: renaming.BehaviorSplitWorld}
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunByzantine(n, renaming.ByzSpec{Seed: 5, PoolProb: 18.0 / n, Byzantine: byz})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportByz(b, res)
+	})
+	b.Run("baseline-byzantine", func(b *testing.B) {
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunBaseline(n, renaming.BaselineSpec{
+				Kind: renaming.BaselineAllToAllByzantine, Seed: 6, Byzantine: []int{1, 4, 7, 10}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCrash(b, res)
+	})
+	b.Run("baseline-reliable-broadcast", func(b *testing.B) {
+		var res *renaming.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = renaming.RunBaseline(n, renaming.BaselineSpec{
+				Kind: renaming.BaselineConsensusBroadcast, Seed: 7, Byzantine: []int{1, 4, 7, 10}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportCrash(b, res)
+	})
+}
+
+// BenchmarkCrashRounds is E2: Theorem 1.2's O(log n) round bound across n
+// under the worst-case adversary.
+func BenchmarkCrashRounds(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: int64(n), CommitteeScale: 0.02,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: n / 4, MidSend: true}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCrash(b, res)
+		})
+	}
+}
+
+// BenchmarkCrashMessagesVsF is E3: the message adaptivity of Theorem 1.2.
+func BenchmarkCrashMessagesVsF(b *testing.B) {
+	const n = 512
+	for _, f := range []int{0, 8, 64, 511} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: int64(f), CommitteeScale: 0.01,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: f, MidSend: true}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCrash(b, res)
+		})
+	}
+}
+
+// BenchmarkCrashVsN is E3n: quasi-linear growth of the committee
+// algorithm vs quadratic growth of the baseline.
+func BenchmarkCrashVsN(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		b.Run(fmt.Sprintf("ours/n=%d", n), func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: int64(n), CommitteeScale: 0.01,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: 8, MidSend: true}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCrash(b, res)
+		})
+		b.Run(fmt.Sprintf("baseline/n=%d", n), func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: int64(n)})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCrash(b, res)
+		})
+	}
+}
+
+// BenchmarkCrashWorstCase is E4: the deterministic Θ(n² log n) ceiling
+// with the paper's constants (committee = everyone).
+func BenchmarkCrashWorstCase(b *testing.B) {
+	const n = 128
+	var res *renaming.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: 1,
+			Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 2, Prob: 0.1, MidSend: true}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCrash(b, res)
+}
+
+// BenchmarkByzantineVsF is E5: Theorem 1.3's scaling in the actual number
+// of Byzantine nodes.
+func BenchmarkByzantineVsF(b *testing.B) {
+	const n = 60
+	for _, f := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			byz := make(map[int]renaming.Behavior, f)
+			for i := 0; i < f; i++ {
+				byz[3*i+1] = renaming.BehaviorSplitWorld
+			}
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunByzantine(n, renaming.ByzSpec{Seed: 42, PoolProb: 20.0 / n, Byzantine: byz})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !res.AssumptionHolds {
+				b.Skip("committee composition outside guarantee envelope")
+			}
+			reportByz(b, res)
+		})
+	}
+}
+
+// BenchmarkByzantineVsN is E5n: quasi-linear growth in n at fixed f.
+func BenchmarkByzantineVsN(b *testing.B) {
+	byz := map[int]renaming.Behavior{1: renaming.BehaviorSplitWorld, 4: renaming.BehaviorSplitWorld}
+	for _, n := range []int{48, 96} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunByzantine(n, renaming.ByzSpec{Seed: int64(n),
+					PoolProb: 16.0 / float64(n), Byzantine: byz})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !res.AssumptionHolds {
+				b.Skip("committee composition outside guarantee envelope")
+			}
+			reportByz(b, res)
+		})
+	}
+}
+
+// BenchmarkOrderPreservation is E6: the order-preserving guarantee under
+// adversarial identity clustering.
+func BenchmarkOrderPreservation(b *testing.B) {
+	const n = 48
+	ids, err := renaming.GenerateIDs(n, 8*n, renaming.IDsClustered, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	byz := map[int]renaming.Behavior{2: renaming.BehaviorSplitWorld}
+	var res *renaming.Result
+	for i := 0; i < b.N; i++ {
+		res, err = renaming.RunByzantine(n, renaming.ByzSpec{N: 8 * n, IDs: ids, Seed: 3,
+			PoolProb: 16.0 / n, Byzantine: byz})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportByz(b, res)
+}
+
+// BenchmarkLowerBound is E7: the Theorem 1.4 Monte-Carlo.
+func BenchmarkLowerBound(b *testing.B) {
+	const n = 256
+	for _, budget := range []int{n / 2, n - 16, n - 1} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				rate = lowerbound.SuccessRate(n, budget, 2000, 1)
+			}
+			b.ReportMetric(rate, "success")
+		})
+	}
+}
+
+// BenchmarkMessageSize is E8: the O(log N) message-size bound.
+func BenchmarkMessageSize(b *testing.B) {
+	const n = 64
+	for _, e := range []int{16, 32, 48} {
+		b.Run(fmt.Sprintf("N=2^%d", e), func(b *testing.B) {
+			bigN := 1 << e
+			ids, err := renaming.GenerateIDs(n, bigN, renaming.IDsRandom, int64(e))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *renaming.Result
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunCrash(n, renaming.CrashSpec{N: bigN, IDs: ids, Seed: 1, CommitteeScale: 0.05})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.MaxMessageBits), "maxMsgBits")
+			b.ReportMetric(float64(res.MaxMessageBits)/float64(e), "bits/log2N")
+		})
+	}
+}
+
+// BenchmarkAblationDoubling is A1: cost of the paper's re-election
+// doubling versus the ablation (success is checked in the test suite; the
+// bench compares message cost).
+func BenchmarkAblationDoubling(b *testing.B) {
+	const n = 128
+	for _, disable := range []bool{false, true} {
+		name := "doubling-on"
+		if disable {
+			name = "doubling-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunCrash(n, renaming.CrashSpec{Seed: 5, CommitteeScale: 0.02,
+					DisableReelectionDoubling: disable,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller,
+						Budget: n - 1, MidSend: true}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Messages), "msgs/run")
+			b.ReportMetric(boolMetric(res.Unique), "success")
+		})
+	}
+}
+
+// BenchmarkAblationSplitAlways is A2: fingerprint divide-and-conquer vs
+// naive per-bit consensus.
+func BenchmarkAblationSplitAlways(b *testing.B) {
+	const n = 36
+	for _, split := range []bool{false, true} {
+		name := "fingerprint"
+		if split {
+			name = "per-bit"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *renaming.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = renaming.RunByzantine(n, renaming.ByzSpec{N: 4 * n, Seed: 7,
+					PoolProb: 12.0 / n, SplitAlways: split})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportByz(b, res)
+		})
+	}
+}
+
+func boolMetric(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+// Command benchtables regenerates every table and figure of the
+// reproduction (DESIGN.md §4): the Table 1 comparison, the scaling
+// claims of Theorems 1.2/1.3, the Theorem 1.4 lower bound, the O(log N)
+// message-size bound, and the A1/A2 design ablations.
+//
+// Usage:
+//
+//	benchtables                 # run everything at full scale
+//	benchtables -quick          # run everything at reduced scale
+//	benchtables -experiment e3  # run a single experiment by id
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"renaming/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "reduced sweep sizes (seconds instead of minutes)")
+	experiment := flag.String("experiment", "", "run a single experiment id (e1 e2 e3 e3n e4 e5 e5n e6 e7 e8 e8c a1 a2 a3)")
+	markdown := flag.Bool("markdown", false, "render tables as Markdown (for EXPERIMENTS.md)")
+	svgDir := flag.String("svgdir", "", "also write each experiment's figures as SVG into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	render := func(table *experiments.Table) error {
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table)
+		}
+		if *svgDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+		for i, chart := range table.Charts {
+			name := fmt.Sprintf("%s.svg", table.ID)
+			if i > 0 {
+				name = fmt.Sprintf("%s-%d.svg", table.ID, i+1)
+			}
+			f, err := os.Create(filepath.Join(*svgDir, name))
+			if err != nil {
+				return err
+			}
+			if err := chart.WriteSVG(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(*svgDir, name))
+		}
+		return nil
+	}
+	start := time.Now()
+	if *experiment != "" {
+		table, err := experiments.ByID(*experiment, cfg)
+		if err != nil {
+			return err
+		}
+		if err := render(table); err != nil {
+			return err
+		}
+		fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	for _, id := range experiments.IDs() {
+		table, err := experiments.ByID(id, cfg)
+		if err != nil {
+			return err
+		}
+		if err := render(table); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,181 @@
+// Command renamesim runs a single renaming execution and prints its
+// outcome and communication metrics.
+//
+// Examples:
+//
+//	renamesim -n 256                              # crash algorithm, no failures
+//	renamesim -n 256 -fault killer -f 64          # adaptive committee killer
+//	renamesim -n 96 -algo byzantine -f 8          # split-world Byzantine nodes
+//	renamesim -n 128 -algo baseline-a2a -fault random -f 32
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"renaming"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "renamesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 64, "number of nodes")
+		bigN     = flag.Int("N", 0, "original namespace size (default 16·n)")
+		seed     = flag.Int64("seed", 1, "run seed (all randomness derives from it)")
+		algo     = flag.String("algo", "crash", "crash | byzantine | baseline-a2a | baseline-sort | baseline-byz")
+		fault    = flag.String("fault", "none", "none | random | killer | burst (crash algorithms)")
+		f        = flag.Int("f", 0, "failure budget / number of Byzantine nodes")
+		scale    = flag.Float64("committee-scale", 0.02, "crash election-constant scale (1 = paper constant)")
+		poolProb = flag.Float64("pool-prob", 0, "Byzantine candidate-pool probability override (0 = paper formula)")
+		behavior = flag.String("behavior", "splitworld", "silent | splitworld | minoritysplit | equivocate | rushing | spam")
+		doTrace  = flag.Bool("trace", false, "print a per-round traffic timeline")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON (for scripting)")
+		early    = flag.Bool("early-stop", false, "enable the crash algorithm's early-stopping extension")
+		verbose  = flag.Bool("v", false, "print the per-link renaming")
+	)
+	flag.Parse()
+
+	faultSpec := renaming.FaultSpec{Kind: renaming.FaultNone}
+	switch *fault {
+	case "none":
+	case "random":
+		faultSpec = renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: *f, Prob: 0.05, MidSend: true}
+	case "killer":
+		faultSpec = renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: *f, MidSend: true}
+	case "burst":
+		nodes := make([]int, *f)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		faultSpec = renaming.FaultSpec{Kind: renaming.FaultBurst, Round: 3, Nodes: nodes}
+	default:
+		return fmt.Errorf("unknown fault %q", *fault)
+	}
+
+	var (
+		res *renaming.Result
+		err error
+	)
+	var traceOut *os.File
+	if *doTrace {
+		traceOut = os.Stdout
+	}
+	switch *algo {
+	case "crash":
+		spec := renaming.CrashSpec{
+			N: *bigN, Seed: *seed, CommitteeScale: *scale, Fault: faultSpec,
+			EarlyStop: *early,
+		}
+		if traceOut != nil {
+			spec.Trace = traceOut
+		}
+		res, err = renaming.RunCrash(*n, spec)
+	case "byzantine":
+		byz := make(map[int]renaming.Behavior, *f)
+		b, berr := parseBehavior(*behavior)
+		if berr != nil {
+			return berr
+		}
+		for i := 0; i < *f; i++ {
+			byz[(3*i+1)%*n] = b
+		}
+		spec := renaming.ByzSpec{
+			N: *bigN, Seed: *seed, PoolProb: *poolProb, Byzantine: byz,
+		}
+		if traceOut != nil {
+			spec.Trace = traceOut
+		}
+		res, err = renaming.RunByzantine(*n, spec)
+	case "baseline-a2a":
+		res, err = renaming.RunBaseline(*n, renaming.BaselineSpec{
+			Kind: renaming.BaselineAllToAllCrash, N: *bigN, Seed: *seed, Fault: faultSpec,
+		})
+	case "baseline-sort":
+		res, err = renaming.RunBaseline(*n, renaming.BaselineSpec{
+			Kind: renaming.BaselineCollectSort, N: *bigN, Seed: *seed,
+		})
+	case "baseline-byz":
+		links := make([]int, 0, *f)
+		for i := 0; i < *f; i++ {
+			links = append(links, (3*i+1)%*n)
+		}
+		res, err = renaming.RunBaseline(*n, renaming.BaselineSpec{
+			Kind: renaming.BaselineAllToAllByzantine, N: *bigN, Seed: *seed, Byzantine: links,
+		})
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Algorithm string
+			N         int
+			*renaming.Result
+		}{Algorithm: *algo, N: *n, Result: res})
+	}
+
+	fmt.Printf("algorithm       %s\n", *algo)
+	fmt.Printf("n               %d\n", *n)
+	fmt.Printf("unique/strong   %v\n", res.Unique)
+	fmt.Printf("order-preserving %v\n", res.OrderPreserving)
+	fmt.Printf("crashes (f)     %d\n", res.Crashes)
+	fmt.Printf("byzantine (f)   %d\n", res.Byzantine)
+	fmt.Printf("rounds          %d\n", res.Rounds)
+	fmt.Printf("messages        %d (honest %d)\n", res.Messages, res.HonestMessages)
+	fmt.Printf("bits            %d (honest %d)\n", res.Bits, res.HonestBits)
+	fmt.Printf("max message     %d bits\n", res.MaxMessageBits)
+	fmt.Printf("max node load   %d sent / %d received\n", res.MaxNodeSent, res.MaxNodeReceived)
+	if res.CommitteeSize > 0 {
+		fmt.Printf("committee       %d (assumption holds: %v)\n", res.CommitteeSize, res.AssumptionHolds)
+	}
+	if res.Iterations > 0 {
+		fmt.Printf("iterations      %d\n", res.Iterations)
+	}
+	kinds := make([]string, 0, len(res.PerKind))
+	for k := range res.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %d\n", k, res.PerKind[k])
+	}
+	if *verbose {
+		for link, id := range res.NewIDByLink {
+			fmt.Printf("link %4d -> %d\n", link, id)
+		}
+	}
+	return nil
+}
+
+func parseBehavior(s string) (renaming.Behavior, error) {
+	switch s {
+	case "silent":
+		return renaming.BehaviorSilent, nil
+	case "splitworld":
+		return renaming.BehaviorSplitWorld, nil
+	case "minoritysplit":
+		return renaming.BehaviorMinoritySplit, nil
+	case "rushing":
+		return renaming.BehaviorRushingEquivocate, nil
+	case "equivocate":
+		return renaming.BehaviorEquivocate, nil
+	case "spam":
+		return renaming.BehaviorSpam, nil
+	default:
+		return 0, fmt.Errorf("unknown behavior %q", s)
+	}
+}

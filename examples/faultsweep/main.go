@@ -1,0 +1,72 @@
+// Faultsweep: visualizes the paper's headline property — the crash
+// algorithm's message cost adapts to the number of failures the
+// adversary actually inflicts, while the all-to-all baseline pays its
+// quadratic price regardless.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"renaming"
+)
+
+func main() {
+	const n = 512
+
+	budgets := []int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 511}
+
+	base, err := renaming.RunBaseline(n, renaming.BaselineSpec{
+		Kind: renaming.BaselineAllToAllCrash, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("crash renaming at n=%d under the adaptive committee killer\n\n", n)
+	fmt.Printf("%8s  %12s  %10s  %s\n", "f", "messages", "msgs/model", "relative to all-to-all baseline")
+
+	var peak int64
+	results := make([]*renaming.Result, 0, len(budgets))
+	for _, budget := range budgets {
+		res, err := renaming.RunCrash(n, renaming.CrashSpec{
+			Seed:           int64(100 + budget),
+			CommitteeScale: 0.01,
+			Fault: renaming.FaultSpec{
+				Kind: renaming.FaultCommitteeKiller, Budget: budget, MidSend: true,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Unique {
+			log.Fatalf("f=%d: renaming failed", res.Crashes)
+		}
+		results = append(results, res)
+		if res.Messages > peak {
+			peak = res.Messages
+		}
+	}
+	if base.Messages > peak {
+		peak = base.Messages
+	}
+
+	logn := math.Log2(n)
+	for _, res := range results {
+		model := (float64(res.Crashes) + logn) * n * logn
+		bar := strings.Repeat("█", int(60*res.Messages/peak))
+		fmt.Printf("%8d  %12d  %10.2f  %s\n", res.Crashes, res.Messages,
+			float64(res.Messages)/model, bar)
+	}
+	bar := strings.Repeat("█", int(60*base.Messages/peak))
+	fmt.Printf("%8s  %12d  %10s  %s\n", "baseline", base.Messages, "-", bar)
+
+	fmt.Printf("\nevery run ended with all survivors holding unique names in [1,%d].\n", n)
+	fmt.Println("msgs/model stays bounded: cost lives inside the (f+log n)·n·log n")
+	fmt.Println("envelope of Theorem 1.2 — the adversary cannot push it anywhere")
+	fmt.Println("near the baseline's fixed quadratic bill without crashing most of")
+	fmt.Println("the network (raw counts are not monotone in f: a freshly killed")
+	fmt.Println("committee is silent until re-election doubles its way back).")
+}

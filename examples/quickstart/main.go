@@ -1,0 +1,55 @@
+// Quickstart: rename 64 nodes with identities scattered over a large
+// namespace down to [1, 64], tolerating crash failures, in a handful of
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"renaming"
+)
+
+func main() {
+	const n = 64
+
+	// Nodes get identities from a namespace of a million values.
+	ids, err := renaming.GenerateIDs(n, 1_000_000, renaming.IDsRandom, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the crash-resilient algorithm while an adaptive adversary
+	// crashes up to 16 nodes, preferring committee members.
+	res, err := renaming.RunCrash(n, renaming.CrashSpec{
+		N:              1_000_000,
+		IDs:            ids,
+		Seed:           7,
+		CommitteeScale: 0.05, // small committee at this n (see DESIGN.md)
+		Fault: renaming.FaultSpec{
+			Kind:    renaming.FaultCommitteeKiller,
+			Budget:  16,
+			MidSend: true,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strong renaming ok: %v   crashes survived: %d\n", res.Unique, res.Crashes)
+	fmt.Printf("rounds: %d   messages: %d   bits: %d (max %d bits/message)\n\n",
+		res.Rounds, res.Messages, res.Bits, res.MaxMessageBits)
+
+	shown := 0
+	for link, newID := range res.NewIDByLink {
+		if newID < 0 {
+			continue // crashed
+		}
+		fmt.Printf("  node with identity %7d  ->  new identity %2d\n", ids[link], newID)
+		shown++
+		if shown == 8 {
+			fmt.Printf("  … and %d more\n", n-res.Crashes-shown)
+			break
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module renaming
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package auth models the message-authentication assumption of Section 3
+// (and the PKI discussion of Section 3.2): every node can sign messages
+// so that no other node can forge its signatures, and anyone can verify.
+//
+// The simulation uses keyed fingerprints as MAC-style signatures with a
+// trusted verification oracle: an Authority issues one private Signer per
+// node and verifies signatures by recomputation. Byzantine node code only
+// ever receives its *own* Signer, so within the simulation it cannot
+// produce a valid signature for an honest node — exactly the
+// unforgeability a digital-signature scheme provides in a deployment.
+// Signatures here are transferable (anyone holding one can relay it),
+// which is the property authenticated broadcast protocols such as
+// Dolev–Strong rely on.
+package auth
+
+import "renaming/internal/sim"
+
+// Signature is a MAC-style tag over a digest.
+type Signature uint64
+
+// SignatureBits is the accounted size of one signature (λ = 64).
+const SignatureBits = 64
+
+// Authority is the trusted key registry. Its secrets never leave the
+// package; protocol code interacts through Signer values and Verify.
+type Authority struct {
+	secrets []uint64
+}
+
+// NewAuthority creates keys for n nodes, derived from the run seed.
+func NewAuthority(seed int64, n int) *Authority {
+	secrets := make([]uint64, n)
+	for i := range secrets {
+		secrets[i] = uint64(sim.DeriveSeed(seed, 0x617574688<<8|uint64(i))) // "auth"
+	}
+	return &Authority{secrets: secrets}
+}
+
+// Signer returns node's private signing handle. Harnesses must hand each
+// node only its own Signer.
+func (a *Authority) Signer(node int) Signer {
+	return Signer{node: node, secret: a.secrets[node]}
+}
+
+// Verify reports whether sig is node's signature over digest.
+func (a *Authority) Verify(node int, digest uint64, sig Signature) bool {
+	if node < 0 || node >= len(a.secrets) {
+		return false
+	}
+	return mac(a.secrets[node], digest) == sig
+}
+
+// Signer signs digests on behalf of one node.
+type Signer struct {
+	node   int
+	secret uint64
+}
+
+// Node returns the link index the signer signs for.
+func (s Signer) Node() int { return s.node }
+
+// Sign produces the node's signature over digest.
+func (s Signer) Sign(digest uint64) Signature {
+	return mac(s.secret, digest)
+}
+
+// Digest folds message fields into a single value for signing. The
+// mixing is collision-resistant enough for simulation purposes (the
+// adversary in scope manipulates protocols, not the hash).
+func Digest(parts ...uint64) uint64 {
+	acc := uint64(0x64696765) // "dige"
+	for _, p := range parts {
+		acc = sim.SplitMix64(acc ^ p)
+	}
+	return acc
+}
+
+func mac(secret, digest uint64) Signature {
+	return Signature(sim.SplitMix64(sim.SplitMix64(secret) ^ digest))
+}

@@ -1,0 +1,64 @@
+package auth
+
+import "testing"
+
+func TestSignVerify(t *testing.T) {
+	a := NewAuthority(1, 5)
+	digest := Digest(1, 2, 3)
+	sig := a.Signer(2).Sign(digest)
+	if !a.Verify(2, digest, sig) {
+		t.Fatal("own signature rejected")
+	}
+	if a.Verify(3, digest, sig) {
+		t.Fatal("signature verified for the wrong node")
+	}
+	if a.Verify(2, Digest(1, 2, 4), sig) {
+		t.Fatal("signature verified for a different digest")
+	}
+	if a.Verify(-1, digest, sig) || a.Verify(5, digest, sig) {
+		t.Fatal("out-of-range node verified")
+	}
+}
+
+func TestUnforgeability(t *testing.T) {
+	a := NewAuthority(7, 4)
+	digest := Digest(42)
+	// A Byzantine node holding its own signer cannot produce node 0's
+	// signature: exhaustively try its own over related digests.
+	byz := a.Signer(3)
+	for _, d := range []uint64{digest, digest ^ 1, 0, ^uint64(0)} {
+		if a.Verify(0, digest, byz.Sign(d)) {
+			t.Fatal("forged signature accepted")
+		}
+	}
+}
+
+func TestDeterministicAcrossAuthorities(t *testing.T) {
+	a1, a2 := NewAuthority(9, 3), NewAuthority(9, 3)
+	d := Digest(5, 6)
+	if a1.Signer(1).Sign(d) != a2.Signer(1).Sign(d) {
+		t.Fatal("same seed produced different keys")
+	}
+	b := NewAuthority(10, 3)
+	if a1.Signer(1).Sign(d) == b.Signer(1).Sign(d) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	if Digest(1, 2) == Digest(2, 1) {
+		t.Fatal("digest ignores order")
+	}
+	if Digest(1) == Digest(1, 0) {
+		t.Fatal("digest ignores length")
+	}
+	if got := Digest(); got == 0 {
+		t.Fatal("empty digest degenerate")
+	}
+}
+
+func TestSignerNode(t *testing.T) {
+	if got := NewAuthority(1, 3).Signer(2).Node(); got != 2 {
+		t.Fatalf("Node() = %d", got)
+	}
+}

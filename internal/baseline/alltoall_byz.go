@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"sort"
+
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// EchoPayload is the per-phase view broadcast of the Byzantine all-to-all
+// baseline: a node's entire received status multiset. Its Ω(n·log N) size
+// is the point — Table 1's prior Byzantine algorithms send large messages,
+// which is where their Õ(n³) bit complexity comes from.
+type EchoPayload struct {
+	Statuses []StatusPayload
+}
+
+var _ sim.Payload = EchoPayload{}
+
+// Kind implements sim.Payload.
+func (EchoPayload) Kind() string { return "a2a-echo" }
+
+// Bits implements sim.Payload.
+func (p EchoPayload) Bits() int {
+	total := 1
+	for _, s := range p.Statuses {
+		total += s.Bits()
+	}
+	return total
+}
+
+// AllToAllByzNode is the Byzantine all-to-all interval-halving baseline
+// (Okun–Barak–Gafni shape, f < n/3): each of the ceil(log2 n)+2 phases
+// takes a status broadcast round and an echo round in which every node
+// rebroadcasts its whole received view. An identity counts as present in
+// a phase when it appears in at least ⌈2n/3⌉ echoed views — every correct
+// node's status always qualifies, while an equivocated or partial one
+// cannot reach the quorum at one node and miss it at another without
+// being decided the same way everywhere.
+//
+// Because the ≥ ⌈2n/3⌉ confirmation gives all correct nodes an identical
+// present-identity set each phase, the interval state of *every* identity
+// is recomputed locally from the shared view (full-information style): a
+// Byzantine node cannot deviate from the halving rank rule, only choose
+// to be present or drop out (dropping out is permanent). Uniqueness among
+// correct nodes follows from the same occupancy argument as the crash
+// algorithm. The content of the status messages is carried — and billed —
+// to match the baseline's Ω(n)-bit message shape.
+type AllToAllByzNode struct {
+	idx, id, n int
+	cfg        AllToAllConfig
+
+	view   map[int]interval.Interval // present identity → computed interval
+	halted bool
+}
+
+var _ sim.Node = (*AllToAllByzNode)(nil)
+
+// NewAllToAllByzNode constructs the node at link index idx.
+func NewAllToAllByzNode(cfg AllToAllConfig, idx int) *AllToAllByzNode {
+	return &AllToAllByzNode{
+		idx: idx, id: cfg.IDs[idx], n: len(cfg.IDs), cfg: cfg,
+		view: nil, // established from the first confirmed presence set
+	}
+}
+
+// Output implements sim.Node.
+func (node *AllToAllByzNode) Output() (int, bool) {
+	if !node.halted {
+		return 0, false
+	}
+	iv, ok := node.view[node.id]
+	if !ok {
+		return 0, false
+	}
+	return iv.Value()
+}
+
+// Halted implements sim.Node.
+func (node *AllToAllByzNode) Halted() bool { return node.halted }
+
+// State returns the node's computed interval for invariant checks.
+func (node *AllToAllByzNode) State() (interval.Interval, bool) {
+	iv, ok := node.view[node.id]
+	return iv, ok
+}
+
+// TotalRoundsByz is the round budget: two rounds per phase plus the final
+// processing round.
+func TotalRoundsByz(cfg AllToAllConfig) int { return 2*cfg.Phases() + 1 }
+
+// Step implements sim.Node.
+func (node *AllToAllByzNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if node.halted {
+		return nil
+	}
+	phase, sub := round/2, round%2
+	if sub == 0 {
+		if round > 0 {
+			node.applyPhase(node.confirmedPresent(inbox))
+		}
+		if phase >= node.cfg.Phases() {
+			node.halted = true
+			return nil
+		}
+		iv := interval.Full(node.n)
+		d := 0
+		if cur, ok := node.view[node.id]; ok {
+			iv = cur
+			d, _ = cur.Depth(interval.Full(node.n))
+		}
+		return sim.Broadcast(node.idx, node.n, StatusPayload{
+			ID: node.id, I: iv, D: d, SizeN: node.cfg.N, Small: node.n,
+		})
+	}
+	// Echo round: rebroadcast the received view.
+	return sim.Broadcast(node.idx, node.n, EchoPayload{Statuses: collectStatuses(inbox)})
+}
+
+// confirmedPresent returns the identities whose status this phase was
+// echoed by at least ⌈2n/3⌉ views.
+func (node *AllToAllByzNode) confirmedPresent(inbox []sim.Message) map[int]bool {
+	threshold := (2*node.n + 2) / 3
+	counts := make(map[int]int)
+	for _, msg := range inbox {
+		echo, ok := msg.Payload.(EchoPayload)
+		if !ok {
+			continue
+		}
+		perID := make(map[int]bool)
+		for _, s := range echo.Statuses {
+			if s.ID < 1 || s.ID > node.cfg.N || perID[s.ID] {
+				continue
+			}
+			perID[s.ID] = true
+			counts[s.ID]++
+		}
+	}
+	present := make(map[int]bool, len(counts))
+	for id, c := range counts {
+		if c >= threshold {
+			present[id] = true
+		}
+	}
+	return present
+}
+
+// applyPhase updates the shared view: first presence (initial adoption or
+// permanent drop-out), then one synchronized halving step of every
+// non-unit interval using the crash algorithm's rank rule.
+func (node *AllToAllByzNode) applyPhase(present map[int]bool) {
+	if node.view == nil {
+		node.view = make(map[int]interval.Interval, len(present))
+		full := interval.Full(node.n)
+		for id := range present {
+			node.view[id] = full
+		}
+		return
+	}
+	for id := range node.view {
+		if !present[id] {
+			delete(node.view, id) // dropped out: gone for good
+		}
+	}
+	ids := make([]int, 0, len(node.view))
+	for id := range node.view {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	next := make(map[int]interval.Interval, len(node.view))
+	for _, id := range ids {
+		iv := node.view[id]
+		if iv.Unit() {
+			next[id] = iv
+			continue
+		}
+		var sameIDs []int
+		subBot := 0
+		bot := iv.Bot()
+		for _, other := range ids {
+			o := node.view[other]
+			if o == iv {
+				sameIDs = append(sameIDs, other)
+			}
+			if bot.Contains(o) {
+				subBot++
+			}
+		}
+		rank := sort.SearchInts(sameIDs, id) + 1
+		if subBot+rank <= bot.Size() {
+			next[id] = bot
+		} else {
+			next[id] = iv.Top()
+		}
+	}
+	node.view = next
+}

@@ -1,0 +1,165 @@
+package baseline
+
+import (
+	"sort"
+
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// StatusPayload is the per-phase all-to-all broadcast ⟨ID, I, d⟩.
+type StatusPayload struct {
+	ID    int
+	I     interval.Interval
+	D     int
+	SizeN int
+	Small int
+}
+
+var _ sim.Payload = StatusPayload{}
+
+// Kind implements sim.Payload.
+func (StatusPayload) Kind() string { return "a2a-status" }
+
+// Bits implements sim.Payload.
+func (p StatusPayload) Bits() int {
+	return bitsFor(p.SizeN) + 2*bitsFor(p.Small) + bitsFor(log2Ceil(p.Small)+1)
+}
+
+// AllToAllConfig parameterizes the all-to-all baselines.
+type AllToAllConfig struct {
+	N   int
+	IDs []int
+}
+
+// Phases returns the phase budget: the decision frontier (minimum depth)
+// rises every phase (with one possible stall when a unit interval reaches
+// the frontier), so ceil(log2 n)+2 phases reach unit intervals.
+func (cfg AllToAllConfig) Phases() int { return log2Ceil(len(cfg.IDs)) + 2 }
+
+// TotalRounds is Phases broadcasts plus the final processing round.
+func (cfg AllToAllConfig) TotalRounds() int { return cfg.Phases() + 1 }
+
+// AllToAllCrashNode is one participant of the all-to-all interval-halving
+// baseline: every phase it broadcasts its status to everyone and applies
+// the halving rank rule locally to its own received multiset — the
+// committee algorithm with "committee = everybody, every node adopts its
+// own response". This is the Ω(n²)-message pattern the paper eliminates.
+type AllToAllCrashNode struct {
+	idx, id, n int
+	cfg        AllToAllConfig
+
+	iv     interval.Interval
+	d      int
+	halted bool
+}
+
+var _ sim.Node = (*AllToAllCrashNode)(nil)
+
+// NewAllToAllCrashNode constructs the node at link index idx.
+func NewAllToAllCrashNode(cfg AllToAllConfig, idx int) *AllToAllCrashNode {
+	return &AllToAllCrashNode{
+		idx: idx, id: cfg.IDs[idx], n: len(cfg.IDs), cfg: cfg,
+		iv: interval.Full(len(cfg.IDs)),
+	}
+}
+
+// Output implements sim.Node.
+func (node *AllToAllCrashNode) Output() (int, bool) {
+	if !node.halted {
+		return 0, false
+	}
+	return node.iv.Value()
+}
+
+// Halted implements sim.Node.
+func (node *AllToAllCrashNode) Halted() bool { return node.halted }
+
+// State returns the node's interval for invariant checks.
+func (node *AllToAllCrashNode) State() (interval.Interval, int) { return node.iv, node.d }
+
+// Step implements sim.Node.
+func (node *AllToAllCrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if node.halted {
+		return nil
+	}
+	if round > 0 {
+		node.applyHalving(collectStatuses(inbox))
+	}
+	if round >= node.cfg.Phases() {
+		node.halted = true
+		return nil
+	}
+	return sim.Broadcast(node.idx, node.n, StatusPayload{
+		ID: node.id, I: node.iv, D: node.d, SizeN: node.cfg.N, Small: node.n,
+	})
+}
+
+// applyHalving runs the committee halving rule (Figure 2 lines 4–9) on
+// the node's own received multiset, halving itself only when it sits on
+// the minimum-depth frontier.
+func (node *AllToAllCrashNode) applyHalving(statuses []StatusPayload) {
+	if len(statuses) == 0 || node.iv.Unit() {
+		return
+	}
+	minDepth := statuses[0].D
+	for _, s := range statuses {
+		if s.D < minDepth {
+			minDepth = s.D
+		}
+	}
+	if node.d != minDepth {
+		return
+	}
+	var ids []int
+	subBot := 0
+	bot := node.iv.Bot()
+	for _, s := range statuses {
+		if s.I == node.iv {
+			ids = append(ids, s.ID)
+		}
+		if bot.Contains(s.I) {
+			subBot++
+		}
+	}
+	sort.Ints(ids)
+	rank := sort.SearchInts(ids, node.id) + 1
+	if subBot+rank <= bot.Size() {
+		node.iv = bot
+	} else {
+		node.iv = node.iv.Top()
+	}
+	node.d++
+}
+
+func collectStatuses(inbox []sim.Message) []StatusPayload {
+	var statuses []StatusPayload
+	for _, msg := range inbox {
+		if s, ok := msg.Payload.(StatusPayload); ok {
+			statuses = append(statuses, s)
+		}
+	}
+	return statuses
+}
+
+func bitsFor(maxValue int) int {
+	if maxValue <= 0 {
+		return 1
+	}
+	bits := 0
+	for v := maxValue; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

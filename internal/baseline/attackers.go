@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// SilentNode models a crash-from-start (or Byzantine playing dead)
+// participant for the baselines.
+type SilentNode struct{}
+
+var _ sim.Node = SilentNode{}
+
+// Step implements sim.Node.
+func (SilentNode) Step(int, []sim.Message) sim.Outbox { return nil }
+
+// Output implements sim.Node.
+func (SilentNode) Output() (int, bool) { return 0, false }
+
+// Halted implements sim.Node.
+func (SilentNode) Halted() bool { return true }
+
+// LiarNode is a consistent liar for the Byzantine all-to-all baseline: it
+// walks its own adversarially chosen path down the halving tree (ignoring
+// the rank rule), broadcasting each step identically to everyone and
+// echoing honestly. Its claims pass every tree-consistency filter, so it
+// occupies slots it is not entitled to — the strongest consistent
+// behaviour the ⌈2n/3⌉-echo confirmation admits (see the package doc for
+// the envelope).
+type LiarNode struct {
+	idx, id, n int
+	cfg        AllToAllConfig
+	rng        *rand.Rand
+	lie        interval.Interval
+	d          int
+}
+
+var _ sim.Node = (*LiarNode)(nil)
+
+// NewLiarNode constructs a consistent liar at link index idx.
+func NewLiarNode(cfg AllToAllConfig, idx int, rng *rand.Rand) *LiarNode {
+	n := len(cfg.IDs)
+	return &LiarNode{
+		idx: idx, id: cfg.IDs[idx], n: n, cfg: cfg, rng: rng,
+		lie: interval.Full(n),
+	}
+}
+
+// Step implements sim.Node.
+func (node *LiarNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	phase, sub := round/2, round%2
+	if phase >= node.cfg.Phases() {
+		return nil
+	}
+	if sub == 0 {
+		if phase > 0 && !node.lie.Unit() {
+			if node.rng.Intn(2) == 0 {
+				node.lie = node.lie.Bot()
+			} else {
+				node.lie = node.lie.Top()
+			}
+			node.d++
+		}
+		return sim.Broadcast(node.idx, node.n, StatusPayload{
+			ID: node.id, I: node.lie, D: node.d, SizeN: node.cfg.N, Small: node.n,
+		})
+	}
+	return sim.Broadcast(node.idx, node.n, EchoPayload{Statuses: collectStatuses(inbox)})
+}
+
+// Output implements sim.Node.
+func (*LiarNode) Output() (int, bool) { return 0, false }
+
+// Halted implements sim.Node.
+func (*LiarNode) Halted() bool { return true }

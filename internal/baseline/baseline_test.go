@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"renaming/internal/adversary"
+	"renaming/internal/auth"
+	"renaming/internal/sim"
+)
+
+func cfgFor(n int) AllToAllConfig {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = 3*i + 2
+	}
+	return AllToAllConfig{N: 4 * n, IDs: ids}
+}
+
+func checkUniqueOutputs(t *testing.T, nw *sim.Network, outputs func(i int) (int, bool), n int, mustDecide func(i int) bool) {
+	t.Helper()
+	seen := make(map[int]int)
+	for i := 0; i < n; i++ {
+		if !mustDecide(i) {
+			continue
+		}
+		id, ok := outputs(i)
+		if !ok {
+			t.Fatalf("node %d undecided", i)
+		}
+		if id < 1 || id > n {
+			t.Fatalf("node %d new id %d outside [1,%d]", i, id, n)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("nodes %d and %d share new id %d", prev, i, id)
+		}
+		seen[id] = i
+	}
+	_ = nw
+}
+
+func TestAllToAllCrashNoFailures(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 31, 64} {
+		cfg := cfgFor(n)
+		nodes := make([]*AllToAllCrashNode, n)
+		simNodes := make([]sim.Node, n)
+		for i := range nodes {
+			nodes[i] = NewAllToAllCrashNode(cfg, i)
+			simNodes[i] = nodes[i]
+		}
+		nw := sim.NewNetwork(simNodes)
+		if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkUniqueOutputs(t, nw, func(i int) (int, bool) { return nodes[i].Output() }, n,
+			func(int) bool { return true })
+	}
+}
+
+func TestAllToAllCrashWithCrashes(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		n := 32
+		cfg := cfgFor(n)
+		nodes := make([]*AllToAllCrashNode, n)
+		simNodes := make([]sim.Node, n)
+		for i := range nodes {
+			nodes[i] = NewAllToAllCrashNode(cfg, i)
+			simNodes[i] = nodes[i]
+		}
+		adv := &adversary.RandomCrashes{
+			Budget: n - 1, Prob: 0.15, MidSendProb: 0.5,
+			Rand: rand.New(rand.NewSource(seed)),
+		}
+		nw := sim.NewNetwork(simNodes, sim.WithCrashAdversary(adv))
+		if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		checkUniqueOutputs(t, nw, func(i int) (int, bool) { return nodes[i].Output() }, n,
+			func(i int) bool { return nw.Alive(i) })
+	}
+}
+
+func TestAllToAllCrashMessageShape(t *testing.T) {
+	n := 64
+	cfg := cfgFor(n)
+	simNodes := make([]sim.Node, n)
+	for i := range simNodes {
+		simNodes[i] = NewAllToAllCrashNode(cfg, i)
+	}
+	nw := sim.NewNetwork(simNodes)
+	if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n) * int64(n) * int64(cfg.Phases())
+	if nw.Metrics().Messages != want {
+		t.Fatalf("messages = %d, want all-to-all %d", nw.Metrics().Messages, want)
+	}
+}
+
+func TestCollectSort(t *testing.T) {
+	n := 20
+	cfg := cfgFor(n)
+	nodes := make([]*CollectSortNode, n)
+	simNodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = NewCollectSortNode(cfg, i)
+		simNodes[i] = nodes[i]
+	}
+	nw := sim.NewNetwork(simNodes)
+	if err := nw.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	checkUniqueOutputs(t, nw, func(i int) (int, bool) { return nodes[i].Output() }, n,
+		func(int) bool { return true })
+	// Order preserving: IDs are increasing in link order, so new ids are 1..n.
+	for i, node := range nodes {
+		id, _ := node.Output()
+		if id != i+1 {
+			t.Fatalf("node %d got %d, want %d", i, id, i+1)
+		}
+	}
+	if nw.Metrics().Messages != int64(n*n) {
+		t.Fatalf("messages = %d, want %d", nw.Metrics().Messages, n*n)
+	}
+}
+
+func TestAllToAllByzantine(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		n := 30
+		cfg := cfgFor(n)
+		byz := map[int]bool{3: true, 11: true, 22: true} // f = 3 < n/3
+		nodes := make([]*AllToAllByzNode, n)
+		simNodes := make([]sim.Node, n)
+		var byzLinks []int
+		for i := 0; i < n; i++ {
+			if byz[i] {
+				byzLinks = append(byzLinks, i)
+				if i%2 == 0 {
+					simNodes[i] = SilentNode{}
+				} else {
+					simNodes[i] = NewLiarNode(cfg, i, rand.New(rand.NewSource(seed*100+int64(i))))
+				}
+				continue
+			}
+			nodes[i] = NewAllToAllByzNode(cfg, i)
+			simNodes[i] = nodes[i]
+		}
+		nw := sim.NewNetwork(simNodes, sim.WithByzantine(byzLinks))
+		if err := nw.Run(TotalRoundsByz(cfg) + 1); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		checkUniqueOutputs(t, nw, func(i int) (int, bool) {
+			if nodes[i] == nil {
+				return 0, false
+			}
+			return nodes[i].Output()
+		}, n, func(i int) bool { return !byz[i] })
+	}
+}
+
+func TestConsensusRenameHonest(t *testing.T) {
+	n := 16
+	cfg := cfgFor(n)
+	dsCfg := ConsensusRenameConfig{N: cfg.N, IDs: cfg.IDs, Seed: 4}
+	authority := authAuthority(dsCfg, n)
+	nodes := make([]*ConsensusRenameNode, n)
+	simNodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = NewConsensusRenameNode(dsCfg, i, authority)
+		simNodes[i] = nodes[i]
+	}
+	nw := sim.NewNetwork(simNodes)
+	if err := nw.Run(dsCfg.TotalRounds() + 1); err != nil {
+		t.Fatal(err)
+	}
+	checkUniqueOutputs(t, nw, func(i int) (int, bool) { return nodes[i].Output() }, n,
+		func(int) bool { return true })
+	// IDs increase with link order, so order preservation means identity
+	// ranks: node i gets i+1.
+	for i, node := range nodes {
+		if id, _ := node.Output(); id != i+1 {
+			t.Fatalf("node %d got %d, want %d", i, id, i+1)
+		}
+	}
+}
+
+func TestConsensusRenameUnderAttack(t *testing.T) {
+	n := 15
+	cfg := cfgFor(n)
+	dsCfg := ConsensusRenameConfig{N: cfg.N, IDs: cfg.IDs, Seed: 9}
+	authority := authAuthority(dsCfg, n)
+	byz := map[int]bool{2: true, 7: true, 11: true} // f = 3 < n/3? t = 4 ✓
+	nodes := make([]*ConsensusRenameNode, n)
+	simNodes := make([]sim.Node, n)
+	var byzLinks []int
+	for i := 0; i < n; i++ {
+		if byz[i] {
+			byzLinks = append(byzLinks, i)
+			if i%2 == 0 {
+				simNodes[i] = SilentNode{}
+			} else {
+				simNodes[i] = NewDSEquivocator(dsCfg, i, authority)
+			}
+			continue
+		}
+		nodes[i] = NewConsensusRenameNode(dsCfg, i, authority)
+		simNodes[i] = nodes[i]
+	}
+	nw := sim.NewNetwork(simNodes, sim.WithByzantine(byzLinks))
+	if err := nw.Run(dsCfg.TotalRounds() + 1); err != nil {
+		t.Fatal(err)
+	}
+	checkUniqueOutputs(t, nw, func(i int) (int, bool) {
+		if nodes[i] == nil {
+			return 0, false
+		}
+		return nodes[i].Output()
+	}, n, func(i int) bool { return !byz[i] })
+	// Order preservation among correct nodes.
+	prev := 0
+	for i, node := range nodes {
+		if byz[i] {
+			continue
+		}
+		id, _ := node.Output()
+		if id <= prev {
+			t.Fatalf("order violated at node %d: %d after %d", i, id, prev)
+		}
+		prev = id
+	}
+}
+
+func authAuthority(cfg ConsensusRenameConfig, n int) *auth.Authority {
+	return auth.NewAuthority(cfg.Seed, n)
+}

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"sort"
+
+	"renaming/internal/sim"
+)
+
+// IDPayload carries one original identity in the collect-and-sort
+// baseline.
+type IDPayload struct {
+	ID    int
+	SizeN int
+}
+
+var _ sim.Payload = IDPayload{}
+
+// Kind implements sim.Payload.
+func (IDPayload) Kind() string { return "collect-id" }
+
+// Bits implements sim.Payload.
+func (p IDPayload) Bits() int { return bitsFor(p.SizeN) }
+
+// CollectSortNode is the crash-free strong order-preserving baseline: one
+// all-to-all identity exchange, then rank locally. It is the classical
+// communication floor of the comparison (2 rounds, exactly n² messages)
+// and is correct only when no failures occur.
+type CollectSortNode struct {
+	idx, id, n int
+	sizeN      int
+
+	newID  int
+	halted bool
+}
+
+var _ sim.Node = (*CollectSortNode)(nil)
+
+// NewCollectSortNode constructs the node at link index idx.
+func NewCollectSortNode(cfg AllToAllConfig, idx int) *CollectSortNode {
+	return &CollectSortNode{idx: idx, id: cfg.IDs[idx], n: len(cfg.IDs), sizeN: cfg.N}
+}
+
+// Output implements sim.Node.
+func (node *CollectSortNode) Output() (int, bool) {
+	if !node.halted {
+		return 0, false
+	}
+	return node.newID, true
+}
+
+// Halted implements sim.Node.
+func (node *CollectSortNode) Halted() bool { return node.halted }
+
+// Step implements sim.Node.
+func (node *CollectSortNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if node.halted {
+		return nil
+	}
+	if round == 0 {
+		return sim.Broadcast(node.idx, node.n, IDPayload{ID: node.id, SizeN: node.sizeN})
+	}
+	ids := make([]int, 0, len(inbox))
+	for _, msg := range inbox {
+		if p, ok := msg.Payload.(IDPayload); ok {
+			ids = append(ids, p.ID)
+		}
+	}
+	sort.Ints(ids)
+	node.newID = sort.SearchInts(ids, node.id) + 1
+	node.halted = true
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package baseline reimplements the prior algorithms the paper compares
+// against in Table 1, to the extent needed to reproduce the table's
+// message/round shape:
+//
+//   - AllToAllCrash: crash-resilient strong renaming by all-to-all
+//     interval halving in the style of Okun–Barak–Gafni [34] (as adapted
+//     to the crash setting): every phase, every active node broadcasts
+//     its ⟨ID, I, d⟩ to everyone and locally applies the same halving
+//     rank rule the committee would. O(log n) rounds, Θ(n² log n)
+//     messages regardless of f — the Ω(n²) all-to-all cost the paper
+//     eliminates.
+//
+//   - CollectSort: the classic crash-free strong order-preserving
+//     renaming — one all-to-all identity exchange, then rank locally.
+//     One round, exactly n² messages; correct only without failures
+//     (listed as the communication floor for the comparison).
+//
+//   - AllToAllByzantine: Byzantine-resilient strong renaming by
+//     all-to-all interval halving with authenticated channels, f < n/3.
+//     Identical message shape to AllToAllCrash; equivocation is
+//     structurally impossible because every node broadcasts one
+//     (authenticated) status per phase and decisions are local and
+//     deterministic in the received multiset.
+package baseline

@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"renaming/internal/auth"
+	"renaming/internal/consensus"
+	"renaming/internal/sim"
+)
+
+// DSEquivocator attacks the consensus-broadcast baseline: in round 0 it
+// signs two different values for its own broadcast instance and sends one
+// to each half of the network, then never relays anything. Dolev–Strong
+// guarantees every correct node ends with *both* values accepted for its
+// instance and outputs ⊥ consistently — the attacker merely removes
+// itself from the renaming.
+type DSEquivocator struct {
+	idx, n int
+	cfg    ConsensusRenameConfig
+	signer auth.Signer
+	sent   bool
+}
+
+var _ sim.Node = (*DSEquivocator)(nil)
+
+// NewDSEquivocator constructs the attacker at link idx. It receives only
+// its own signer, like every node.
+func NewDSEquivocator(cfg ConsensusRenameConfig, idx int, authority *auth.Authority) *DSEquivocator {
+	return &DSEquivocator{idx: idx, n: len(cfg.IDs), cfg: cfg, signer: authority.Signer(idx)}
+}
+
+// Step implements sim.Node.
+func (a *DSEquivocator) Step(round int, inbox []sim.Message) sim.Outbox {
+	if a.sent {
+		return nil
+	}
+	a.sent = true
+	valueBits := bitsFor(a.cfg.N)
+	nodeBits := bitsFor(a.n)
+	v1 := uint64(a.cfg.IDs[a.idx])
+	v2 := uint64(a.cfg.IDs[a.idx]%a.cfg.N) + 1
+	if v2 == v1 {
+		v2++
+	}
+	out := make(sim.Outbox, 0, a.n)
+	for to := 0; to < a.n; to++ {
+		value := v1
+		if to >= a.n/2 {
+			value = v2
+		}
+		digest := auth.Digest(uint64(a.idx), value)
+		msg := consensus.DSMsg{
+			Instance: a.idx, From: a.idx, To: to, Value: value,
+			Chain: []consensus.Endorsement{{Node: a.idx, Sig: a.signer.Sign(digest)}},
+		}
+		out = append(out, sim.Message{From: a.idx, To: to, Payload: DSPayload{
+			Msg: msg, ValueBits: valueBits, NodeBits: nodeBits,
+		}})
+	}
+	return out
+}
+
+// Output implements sim.Node.
+func (*DSEquivocator) Output() (int, bool) { return 0, false }
+
+// Halted implements sim.Node.
+func (*DSEquivocator) Halted() bool { return true }

@@ -1,0 +1,40 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVector(n, ones int) *Vector {
+	rng := rand.New(rand.NewSource(1))
+	v := New(n)
+	for i := 0; i < ones; i++ {
+		v.Set(rng.Intn(n) + 1)
+	}
+	return v
+}
+
+func BenchmarkRank(b *testing.B) {
+	v := benchVector(1<<16, 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.Rank(i%(1<<16) + 1)
+	}
+}
+
+func BenchmarkCountRange(b *testing.B) {
+	v := benchVector(1<<16, 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := i%(1<<15) + 1
+		_ = v.CountRange(lo, lo+1<<14)
+	}
+}
+
+func BenchmarkSegmentWords(b *testing.B) {
+	v := benchVector(1<<16, 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.SegmentWords(1, 1<<12)
+	}
+}

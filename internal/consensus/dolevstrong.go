@@ -1,0 +1,190 @@
+package consensus
+
+import (
+	"sort"
+
+	"renaming/internal/auth"
+)
+
+// Dolev–Strong authenticated broadcast: the classical tool the paper's
+// related work builds renaming on ("early results rely on consensus and
+// reliable broadcast, with round complexity growing linearly in the
+// maximum number of faults"). With transferable signatures it achieves
+// broadcast (agreement on the sender's value, or on ⊥ for an equivocating
+// sender) against any number of Byzantine nodes in t+1 rounds, where t is
+// the assumed fault bound.
+//
+// A value circulates with a signature chain: the sender's signature
+// first, then one per relayer. A member accepts a value seen in round r
+// only when its chain carries r valid signatures from distinct nodes
+// starting with the sender; on first acceptance it appends its own
+// signature and relays. After t+1 rounds a member outputs the unique
+// accepted value, or ⊥ when it accepted zero or several.
+
+// Endorsement is one link in a signature chain.
+type Endorsement struct {
+	Node int
+	Sig  auth.Signature
+}
+
+// DSMsg is one Dolev–Strong relay message: a value and its chain. The
+// Instance field routes messages when many broadcasts run in parallel
+// (one per sender, as in the consensus-based renaming baseline).
+type DSMsg struct {
+	Instance int
+	From     int
+	To       int
+	Value    uint64
+	Chain    []Endorsement
+}
+
+// Bits returns the accounted payload size: the value plus the chain
+// (node index + signature per endorsement). Chains of up to t+1 links
+// are what make the classical protocols' messages large.
+func (m DSMsg) Bits(valueBits, nodeBits int) int {
+	return valueBits + len(m.Chain)*(nodeBits+auth.SignatureBits)
+}
+
+// DSBroadcast is one member's state in one broadcast instance.
+type DSBroadcast struct {
+	instance     int
+	self         int
+	participants []int
+	sender       int
+	t            int
+	authority    *auth.Authority
+	signer       auth.Signer
+
+	input    uint64 // meaningful for the sender only
+	isSender bool
+
+	round    int
+	accepted map[uint64]bool
+	relayQ   []DSMsg
+	done     bool
+}
+
+// NewDSBroadcast creates the instance for the member at link self.
+// sender is the broadcasting link; input is used when self == sender.
+func NewDSBroadcast(instance, self int, participants []int, sender, t int,
+	authority *auth.Authority, signer auth.Signer, input uint64) *DSBroadcast {
+	sorted := append([]int(nil), participants...)
+	sort.Ints(sorted)
+	return &DSBroadcast{
+		instance:     instance,
+		self:         self,
+		participants: sorted,
+		sender:       sender,
+		t:            t,
+		authority:    authority,
+		signer:       signer,
+		input:        input,
+		isSender:     self == sender,
+		accepted:     make(map[uint64]bool),
+	}
+}
+
+// Rounds returns the protocol length: t+1 relay rounds plus the final
+// decision step.
+func (ds *DSBroadcast) Rounds() int { return ds.t + 2 }
+
+// Done reports completion.
+func (ds *DSBroadcast) Done() bool { return ds.done }
+
+// Output returns the agreed value; ok=false means ⊥ (the sender was
+// faulty, detected consistently by every correct member).
+func (ds *DSBroadcast) Output() (uint64, bool) {
+	if len(ds.accepted) != 1 {
+		return 0, false
+	}
+	for v := range ds.accepted {
+		return v, true
+	}
+	return 0, false
+}
+
+// Step consumes this round's instance messages and returns the relays to
+// send. Round 0 is the sender's initial broadcast.
+func (ds *DSBroadcast) Step(in []DSMsg) []DSMsg {
+	if ds.done {
+		return nil
+	}
+	defer func() { ds.round++ }()
+
+	if ds.round == 0 {
+		if !ds.isSender {
+			return nil
+		}
+		ds.accepted[ds.input] = true
+		digest := ds.digest(ds.input, nil)
+		chain := []Endorsement{{Node: ds.self, Sig: ds.signer.Sign(digest)}}
+		return ds.fanOut(ds.input, chain)
+	}
+
+	// Rounds 1..t+1 accept chains of exactly ds.round signatures.
+	var out []DSMsg
+	for _, msg := range in {
+		if msg.Instance != ds.instance || ds.accepted[msg.Value] {
+			continue
+		}
+		if !ds.validChain(msg.Value, msg.Chain, ds.round) {
+			continue
+		}
+		ds.accepted[msg.Value] = true
+		if len(ds.accepted) > 2 {
+			continue // two accepted values already prove sender faulty
+		}
+		if ds.round <= ds.t {
+			digest := ds.digest(msg.Value, msg.Chain)
+			chain := append(append([]Endorsement(nil), msg.Chain...),
+				Endorsement{Node: ds.self, Sig: ds.signer.Sign(digest)})
+			out = append(out, ds.fanOut(msg.Value, chain)...)
+		}
+	}
+	if ds.round == ds.t+1 {
+		ds.done = true
+	}
+	return out
+}
+
+// validChain checks a chain of the expected length: distinct signers, the
+// sender first, every signature valid over the incremental digest.
+func (ds *DSBroadcast) validChain(value uint64, chain []Endorsement, wantLen int) bool {
+	if len(chain) != wantLen || len(chain) == 0 || chain[0].Node != ds.sender {
+		return false
+	}
+	seen := make(map[int]bool, len(chain))
+	for i, e := range chain {
+		if seen[e.Node] {
+			return false
+		}
+		seen[e.Node] = true
+		digest := ds.digest(value, chain[:i])
+		if !ds.authority.Verify(e.Node, digest, e.Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// digest binds the instance, the value, and the chain prefix, so a
+// signature cannot be replayed into another instance or position.
+func (ds *DSBroadcast) digest(value uint64, prefix []Endorsement) uint64 {
+	parts := make([]uint64, 0, 2+2*len(prefix))
+	parts = append(parts, uint64(ds.instance), value)
+	for _, e := range prefix {
+		parts = append(parts, uint64(e.Node), uint64(e.Sig))
+	}
+	return auth.Digest(parts...)
+}
+
+func (ds *DSBroadcast) fanOut(value uint64, chain []Endorsement) []DSMsg {
+	out := make([]DSMsg, 0, len(ds.participants))
+	for _, to := range ds.participants {
+		out = append(out, DSMsg{
+			Instance: ds.instance, From: ds.self, To: to,
+			Value: value, Chain: chain,
+		})
+	}
+	return out
+}

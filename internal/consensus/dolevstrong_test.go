@@ -1,0 +1,187 @@
+package consensus
+
+import (
+	"testing"
+
+	"renaming/internal/auth"
+)
+
+// dsDriver steps DSBroadcast machines in lockstep with an injector for
+// Byzantine traffic.
+type dsDriver struct {
+	machines map[int]*DSBroadcast
+	inject   func(round int) []DSMsg
+	pending  map[int][]DSMsg
+}
+
+func newDSDriver(machines map[int]*DSBroadcast, inject func(int) []DSMsg) *dsDriver {
+	if inject == nil {
+		inject = func(int) []DSMsg { return nil }
+	}
+	return &dsDriver{machines: machines, inject: inject, pending: make(map[int][]DSMsg)}
+}
+
+func (d *dsDriver) run(maxRounds int) bool {
+	for round := 0; round < maxRounds; round++ {
+		allDone := true
+		next := make(map[int][]DSMsg)
+		for self, m := range d.machines {
+			if m.Done() {
+				continue
+			}
+			allDone = false
+			for _, out := range m.Step(d.pending[self]) {
+				next[out.To] = append(next[out.To], out)
+			}
+		}
+		if allDone {
+			return true
+		}
+		for _, msg := range d.inject(round) {
+			next[msg.To] = append(next[msg.To], msg)
+		}
+		d.pending = next
+	}
+	for _, m := range d.machines {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func dsSetup(n, t, sender int, input uint64, correct []int) (*auth.Authority, map[int]*DSBroadcast) {
+	authority := auth.NewAuthority(11, n)
+	participants := make([]int, n)
+	for i := range participants {
+		participants[i] = i
+	}
+	machines := make(map[int]*DSBroadcast, len(correct))
+	for _, self := range correct {
+		machines[self] = NewDSBroadcast(0, self, participants, sender, t,
+			authority, authority.Signer(self), input)
+	}
+	return authority, machines
+}
+
+func allLinks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestDSHonestSenderDelivers(t *testing.T) {
+	n, tb := 7, 2
+	_, machines := dsSetup(n, tb, 3, 99, allLinks(n))
+	if !newDSDriver(machines, nil).run(tb + 3) {
+		t.Fatal("did not terminate")
+	}
+	for self, m := range machines {
+		v, ok := m.Output()
+		if !ok || v != 99 {
+			t.Fatalf("member %d: output %d,%v", self, v, ok)
+		}
+	}
+}
+
+func TestDSSilentSenderYieldsBottom(t *testing.T) {
+	n, tb := 6, 1
+	correct := []int{0, 1, 2, 4, 5} // sender 3 is Byzantine-silent
+	_, machines := dsSetup(n, tb, 3, 0, correct)
+	if !newDSDriver(machines, nil).run(tb + 3) {
+		t.Fatal("did not terminate")
+	}
+	for self, m := range machines {
+		if _, ok := m.Output(); ok {
+			t.Fatalf("member %d extracted a value from a silent sender", self)
+		}
+	}
+}
+
+// TestDSEquivocatingSenderAgreement: a Byzantine sender signing two
+// values to disjoint halves must leave every correct member with the
+// same output (⊥, since both values spread through relays).
+func TestDSEquivocatingSenderAgreement(t *testing.T) {
+	n, tb, sender := 9, 2, 4
+	correct := []int{0, 1, 2, 3, 5, 6, 7, 8}
+	authority, machines := dsSetup(n, tb, sender, 0, correct)
+	signer := authority.Signer(sender)
+	inject := func(round int) []DSMsg {
+		if round != 0 {
+			return nil
+		}
+		var out []DSMsg
+		for to := 0; to < n; to++ {
+			value := uint64(100)
+			if to >= n/2 {
+				value = 200
+			}
+			digest := auth.Digest(0, value)
+			out = append(out, DSMsg{Instance: 0, From: sender, To: to, Value: value,
+				Chain: []Endorsement{{Node: sender, Sig: signer.Sign(digest)}}})
+		}
+		return out
+	}
+	if !newDSDriver(machines, inject).run(tb + 3) {
+		t.Fatal("did not terminate")
+	}
+	for self, m := range machines {
+		if _, ok := m.Output(); ok {
+			t.Fatalf("member %d output a value despite equivocation", self)
+		}
+	}
+}
+
+// TestDSForgedChainsRejected: chains with a forged signature, a wrong
+// sender head, duplicate signers, or the wrong length never get accepted.
+func TestDSForgedChainsRejected(t *testing.T) {
+	n, tb, sender := 5, 1, 0
+	correct := []int{1, 2, 3, 4}
+	authority, machines := dsSetup(n, tb, sender, 0, correct)
+	byzSigner := authority.Signer(0) // the Byzantine sender's own key
+	inject := func(round int) []DSMsg {
+		if round != 0 {
+			return nil
+		}
+		digest := auth.Digest(0, uint64(77))
+		good := Endorsement{Node: sender, Sig: byzSigner.Sign(digest)}
+		var out []DSMsg
+		for to := 1; to < n; to++ {
+			// Forged signature bits.
+			out = append(out, DSMsg{Instance: 0, From: sender, To: to, Value: 77,
+				Chain: []Endorsement{{Node: sender, Sig: good.Sig ^ 1}}})
+			// Wrong head: claims node 1 is the sender.
+			out = append(out, DSMsg{Instance: 0, From: sender, To: to, Value: 77,
+				Chain: []Endorsement{{Node: 1, Sig: byzSigner.Sign(digest)}}})
+			// Wrong chain length for round 1.
+			out = append(out, DSMsg{Instance: 0, From: sender, To: to, Value: 77,
+				Chain: []Endorsement{good, good}})
+		}
+		return out
+	}
+	if !newDSDriver(machines, inject).run(tb + 3) {
+		t.Fatal("did not terminate")
+	}
+	for self, m := range machines {
+		if _, ok := m.Output(); ok {
+			t.Fatalf("member %d accepted a forged broadcast", self)
+		}
+	}
+}
+
+func TestDSRounds(t *testing.T) {
+	_, machines := dsSetup(4, 1, 0, 5, allLinks(4))
+	ds := machines[0]
+	if ds.Rounds() != 3 {
+		t.Fatalf("Rounds = %d", ds.Rounds())
+	}
+}
+
+func TestDSMsgBits(t *testing.T) {
+	m := DSMsg{Chain: make([]Endorsement, 3)}
+	if got := m.Bits(20, 6); got != 20+3*(6+auth.SignatureBits) {
+		t.Fatalf("Bits = %d", got)
+	}
+}

@@ -1,0 +1,61 @@
+package consensus
+
+import "sort"
+
+// Exchange is the trivial one-shot broadcast-and-collect machine used for
+// the diff report of Section 3.1: every member broadcasts one value to
+// the committee and collects everybody else's. It takes two synchronous
+// rounds (send, then receive).
+type Exchange struct {
+	self    int
+	members []int
+	val     Value
+
+	round int
+	votes map[int]Value
+	done  bool
+}
+
+var _ Machine = (*Exchange)(nil)
+
+// NewExchange creates an exchange instance for the member at link index
+// self broadcasting val to the given committee view.
+func NewExchange(self int, members []int, val Value) *Exchange {
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	return &Exchange{self: self, members: sorted, val: val}
+}
+
+// ExchangeRounds is the number of synchronous rounds an Exchange needs.
+const ExchangeRounds = 2
+
+// Done reports whether the collection finished.
+func (ex *Exchange) Done() bool { return ex.done }
+
+// Votes returns the collected values per member link, valid once Done.
+// At most one value per committee member is kept; non-members are
+// ignored.
+func (ex *Exchange) Votes() map[int]Value {
+	if !ex.done {
+		return nil
+	}
+	return ex.votes
+}
+
+// Step implements Machine.
+func (ex *Exchange) Step(in []Msg) []Msg {
+	if ex.done {
+		return nil
+	}
+	if ex.round == 0 {
+		ex.round = 1
+		out := make([]Msg, 0, len(ex.members))
+		for _, to := range ex.members {
+			out = append(out, Msg{From: ex.self, To: to, Val: ex.val})
+		}
+		return out
+	}
+	ex.votes = collect(in, ex.members)
+	ex.done = true
+	return nil
+}

@@ -1,0 +1,106 @@
+package consensus
+
+import "sort"
+
+// Validator is the weak validator of Lemma 3.3, implemented as two-round
+// graded consensus on O(log N)-bit values:
+//
+//	round 1: every member broadcasts its input value;
+//	round 2: every member broadcasts the value it saw at least m − t
+//	         times in round 1 (or stays silent when no such value exists);
+//	decide:  a value echoed at least m − t times yields ⟨same=1, value⟩,
+//	         a value echoed at least t + 1 times yields ⟨same=0, value⟩,
+//	         otherwise the member keeps its own input with same=0.
+//
+// Properties (with t < m/3 Byzantine per view):
+//
+//   - strong validity: the output equals some correct member's input —
+//     an echo count of t+1 contains a correct echo, which required m−t
+//     round-1 votes, of which at least m−2t > t came from correct members;
+//   - unanimity: if all correct members share input v, every correct
+//     member outputs ⟨1, v⟩;
+//   - weak agreement: if any correct member outputs same=1 for value v,
+//     every correct member outputs v (possibly with same=0), because
+//     correct members can collectively echo at most one value and the
+//     m−t echoes seen by the grading member include more than t correct
+//     ones visible to everybody.
+type Validator struct {
+	self    int
+	members []int
+	in      Value
+
+	round    int
+	done     bool
+	outSame  bool
+	outValue Value
+}
+
+var _ Machine = (*Validator)(nil)
+
+// NewValidator creates a validator instance for the member at link index
+// self with the given input. members is the shared committee view as
+// link indices.
+func NewValidator(self int, members []int, input Value) *Validator {
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	return &Validator{self: self, members: sorted, in: input}
+}
+
+// ValidatorRounds is the number of synchronous rounds a Validator needs.
+const ValidatorRounds = 3
+
+// Done reports whether the protocol has produced its output.
+func (va *Validator) Done() bool { return va.done }
+
+// Output returns ⟨same, value⟩ once Done.
+func (va *Validator) Output() (same bool, val Value, ok bool) {
+	if !va.done {
+		return false, Value{}, false
+	}
+	return va.outSame, va.outValue, true
+}
+
+// Step advances the protocol by one synchronous round.
+func (va *Validator) Step(in []Msg) []Msg {
+	if va.done {
+		return nil
+	}
+	m := len(va.members)
+	t := byzThreshold(m)
+	switch va.round {
+	case 0:
+		va.round = 1
+		return va.broadcast(va.in)
+	case 1:
+		// Round-1 votes arrive; echo a strong-quorum value if one exists.
+		votes := collect(in, va.members)
+		best, cnt, _ := countVotes(votes)
+		va.round = 2
+		if cnt >= m-t {
+			return va.broadcast(best)
+		}
+		return nil
+	default:
+		// Echoes arrive; grade.
+		echoes := collect(in, va.members)
+		best, cnt, _ := countVotes(echoes)
+		switch {
+		case cnt >= m-t:
+			va.outSame, va.outValue = true, best
+		case cnt >= t+1:
+			va.outSame, va.outValue = false, best
+		default:
+			va.outSame, va.outValue = false, va.in
+		}
+		va.done = true
+		return nil
+	}
+}
+
+func (va *Validator) broadcast(v Value) []Msg {
+	out := make([]Msg, 0, len(va.members))
+	for _, to := range va.members {
+		out = append(out, Msg{From: va.self, To: to, Val: v})
+	}
+	return out
+}

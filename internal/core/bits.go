@@ -1,0 +1,23 @@
+package core
+
+import "math/bits"
+
+// bitsFor returns the number of bits needed to encode a value in
+// [0, maxValue], at least 1. Payload sizes are derived from the actual
+// field domains so the simulator's bit complexity matches the paper's
+// accounting (identities cost ceil(log2 N) bits, interval endpoints
+// ceil(log2 n) bits, depths and probability exponents O(log log n) bits).
+func bitsFor(maxValue int) int {
+	if maxValue <= 0 {
+		return 1
+	}
+	return bits.Len(uint(maxValue))
+}
+
+// log2Ceil returns ceil(log2 n) for n >= 1.
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

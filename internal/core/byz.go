@@ -1,0 +1,509 @@
+package core
+
+import (
+	"sort"
+
+	"renaming/internal/bitvec"
+	"renaming/internal/consensus"
+	"renaming/internal/hashing"
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// byzPhase tracks a correct node's position in the protocol schedule.
+type byzPhase int
+
+const (
+	phElect     byzPhase = iota + 1 // round 0: candidates announce
+	phAggregate                     // round 1: everyone announces its identity
+	phLoop                          // round 2+: committee divide-and-conquer
+	phWait                          // non-members / post-distribution: wait for NEW
+)
+
+// loopStage tracks which subprotocol the committee is currently running
+// for the segment on top of the stack.
+type loopStage int
+
+const (
+	stageUnitConsensus loopStage = iota + 1 // single-bit segment: Consensus on the bit
+	stageValidator                          // Validator on ⟨fingerprint, count⟩
+	stageSameConsensus                      // Consensus on the validator's same flag
+	stageDiffExchange                       // one-round diff report
+	stageDiffConsensus                      // Consensus on the amplified diff flag
+)
+
+// member is one committee member in a node's view.
+type member struct {
+	id   int
+	link int
+}
+
+// ByzNode is a correct participant of the Byzantine-resilient renaming
+// algorithm (Section 3.1): committee election via the shared candidate
+// pool, identity aggregation into an N-bit list, fingerprint-based
+// divide-and-conquer consensus on the list, and majority-voted new
+// identity distribution.
+type ByzNode struct {
+	idx int
+	id  int
+	n   int
+	cfg ByzConfig
+
+	poolSet map[int]bool
+	elected bool
+
+	// Committee view, identical across correct nodes (G ⊆ ∩Cv with the
+	// all-or-nothing announcement simplification documented in DESIGN.md).
+	committee   []member
+	memberLinks []int
+
+	// Committee-member state.
+	list      *bitvec.Vector
+	knownLink map[int]int // id → link for identities heard directly
+	stack     []interval.Interval
+	processed []interval.Interval
+	dirty     []interval.Interval
+	stage     loopStage
+	machine   consensus.Machine
+	pc        int
+	cur       interval.Interval
+	curVal    consensus.Value // my ⟨fingerprint, count⟩ for cur
+	agreedVal consensus.Value // validator output ⟨s', cnt'⟩
+	diffBit   bool
+	loopDone  bool
+	// iterations counts divide-and-conquer iterations (segments
+	// processed), the quantity Lemma 3.10 bounds by 4·f·log N.
+	iterations int
+
+	// Decision state (all correct nodes).
+	phase    byzPhase
+	newVotes map[int]NewPayload
+	newID    int
+	decided  bool
+	halted   bool
+}
+
+var _ sim.Node = (*ByzNode)(nil)
+
+// NewByzNode constructs the correct node at link index idx.
+func NewByzNode(cfg ByzConfig, idx int) *ByzNode {
+	pool := cfg.Pool()
+	poolSet := make(map[int]bool, len(pool))
+	for _, id := range pool {
+		poolSet[id] = true
+	}
+	return &ByzNode{
+		idx:      idx,
+		id:       cfg.IDs[idx],
+		n:        len(cfg.IDs),
+		cfg:      cfg,
+		poolSet:  poolSet,
+		phase:    phElect,
+		newVotes: make(map[int]NewPayload),
+	}
+}
+
+// Output returns the node's new identity once decided.
+func (node *ByzNode) Output() (int, bool) {
+	if !node.decided {
+		return 0, false
+	}
+	return node.newID, true
+}
+
+// Halted implements sim.Node.
+func (node *ByzNode) Halted() bool { return node.halted }
+
+// Elected reports whether the node is a committee member.
+func (node *ByzNode) Elected() bool { return node.elected }
+
+// CommitteeSize returns the size of the node's committee view.
+func (node *ByzNode) CommitteeSize() int { return len(node.committee) }
+
+// Iterations returns the number of divide-and-conquer iterations the
+// committee ran (0 for non-members), the quantity bounded by Lemma 3.10.
+func (node *ByzNode) Iterations() int { return node.iterations }
+
+// Partition returns the processed segments (the paper's Ĵ) for invariant
+// checks: across correct members they must be identical and partition
+// [1, N] (Lemma 3.8).
+func (node *ByzNode) Partition() []interval.Interval {
+	out := make([]interval.Interval, len(node.processed))
+	copy(out, node.processed)
+	return out
+}
+
+// ByzantineInCommittee counts committee-view members whose link the
+// predicate classifies as Byzantine — used by harnesses to check the
+// committee-composition assumption of Lemma 3.5.
+func (node *ByzNode) ByzantineInCommittee(isByz func(link int) bool) int {
+	count := 0
+	for _, m := range node.committee {
+		if isByz(m.link) {
+			count++
+		}
+	}
+	return count
+}
+
+// DirtySegments returns the segments the member marked dirty.
+func (node *ByzNode) DirtySegments() []interval.Interval {
+	out := make([]interval.Interval, len(node.dirty))
+	copy(out, node.dirty)
+	return out
+}
+
+// Step implements sim.Node.
+func (node *ByzNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if node.halted {
+		return nil
+	}
+	switch node.phase {
+	case phElect:
+		return node.stepElect()
+	case phAggregate:
+		return node.stepAggregate(inbox)
+	case phLoop:
+		node.absorbNew(inbox)
+		return node.stepLoop(inbox)
+	default:
+		node.absorbNew(inbox)
+		node.tryDecide()
+		return nil
+	}
+}
+
+// stepElect is round 0: pool members announce ELECT to everyone.
+func (node *ByzNode) stepElect() sim.Outbox {
+	node.phase = phAggregate
+	if !node.poolSet[node.id] {
+		return nil
+	}
+	node.elected = true
+	return sim.Broadcast(node.idx, node.n, ElectPayload{ID: node.id, SizeN: node.cfg.N})
+}
+
+// stepAggregate is round 1: build the committee view from authenticated
+// ELECT messages, then send the own identity to every committee member.
+func (node *ByzNode) stepAggregate(inbox []sim.Message) sim.Outbox {
+	for _, msg := range inbox {
+		e, ok := msg.Payload.(ElectPayload)
+		if !ok {
+			continue
+		}
+		// Accept only pool members whose authentication binding checks
+		// out; a Byzantine node cannot claim a foreign identity.
+		if !node.poolSet[e.ID] || !node.cfg.VerifyIdentity(msg.From, e.ID) {
+			continue
+		}
+		node.committee = append(node.committee, member{id: e.ID, link: msg.From})
+	}
+	sort.Slice(node.committee, func(a, b int) bool { return node.committee[a].id < node.committee[b].id })
+	node.committee = dedupMembers(node.committee)
+	node.memberLinks = make([]int, 0, len(node.committee))
+	for _, m := range node.committee {
+		node.memberLinks = append(node.memberLinks, m.link)
+	}
+	sort.Ints(node.memberLinks)
+
+	if node.elected {
+		node.phase = phLoop
+		node.list = bitvec.New(node.cfg.N)
+		node.knownLink = make(map[int]int)
+		node.stack = []interval.Interval{interval.Full(node.cfg.N)}
+	} else {
+		node.phase = phWait
+	}
+
+	announce := AnnouncePayload{ID: node.id, SizeN: node.cfg.N}
+	return sim.Multicast(node.idx, node.memberLinks, announce)
+}
+
+// stepLoop drives the committee member through aggregation (its first
+// loop round) and the divide-and-conquer subprotocols.
+func (node *ByzNode) stepLoop(inbox []sim.Message) sim.Outbox {
+	if node.machine == nil && !node.loopDone {
+		// First loop round (round 2): absorb the identity announcements
+		// into the list, then start on the full segment.
+		for _, msg := range inbox {
+			a, ok := msg.Payload.(AnnouncePayload)
+			if !ok {
+				continue
+			}
+			if !node.cfg.VerifyIdentity(msg.From, a.ID) {
+				continue
+			}
+			node.list.Set(a.ID)
+			node.knownLink[a.ID] = msg.From
+		}
+		out := node.startSegment()
+		node.pc++
+		return out
+	}
+
+	// Subprotocol round: feed the machine the messages tagged with the
+	// previous counter value.
+	expected := node.pc - 1
+	var subIn []consensus.Msg
+	for _, msg := range inbox {
+		s, ok := msg.Payload.(SubPayload)
+		if !ok || s.PC != expected {
+			continue
+		}
+		subIn = append(subIn, consensus.Msg{From: msg.From, To: node.idx, Val: s.Val})
+	}
+	var out sim.Outbox
+	if node.machine != nil {
+		out = node.wrapSub(node.machine.Step(subIn))
+		if node.machine.Done() {
+			out = append(out, node.advance()...)
+		}
+	}
+	node.pc++
+	return out
+}
+
+// startSegment pops the next pending segment and starts its first
+// subprotocol, returning the wrapped first-round messages. When the stack
+// is empty the loop is over and distribution happens immediately.
+func (node *ByzNode) startSegment() sim.Outbox {
+	if len(node.stack) == 0 {
+		node.loopDone = true
+		node.machine = nil
+		out := node.distribute()
+		node.phase = phWait
+		return out
+	}
+	node.iterations++
+	node.cur = node.stack[len(node.stack)-1]
+	node.stack = node.stack[:len(node.stack)-1]
+
+	if node.cfg.SplitAlways && !node.cur.Unit() {
+		// A2 ablation: no fingerprinting, recurse immediately.
+		return node.split()
+	}
+	if node.cur.Unit() {
+		bit := node.list.Get(node.cur.Lo)
+		node.stage = stageUnitConsensus
+		node.machine = consensus.NewPhaseKing(node.idx, node.memberLinks, bit)
+	} else {
+		seed := node.cfg.Beacon().HashSeed(0, node.cur.Lo, node.cur.Hi)
+		fp := hashing.NewHasher(seed).Sum(node.list.SegmentWords(node.cur.Lo, node.cur.Hi))
+		cnt := node.list.CountRange(node.cur.Lo, node.cur.Hi)
+		node.curVal = consensus.Value{Hi: uint64(fp), Lo: uint64(cnt)}
+		node.stage = stageValidator
+		node.machine = consensus.NewValidator(node.idx, node.memberLinks, node.curVal)
+	}
+	return node.wrapSub(node.machine.Step(nil))
+}
+
+// advance reacts to the current machine finishing: it applies the
+// machine's output to the protocol state and starts the next machine (or
+// segment), returning any first-round messages of the successor.
+func (node *ByzNode) advance() sim.Outbox {
+	switch node.stage {
+	case stageUnitConsensus:
+		pk := node.machine.(*consensus.PhaseKing)
+		bit, _ := pk.Output()
+		if bit {
+			node.list.Set(node.cur.Lo)
+		} else {
+			node.list.Clear(node.cur.Lo)
+		}
+		node.processed = append(node.processed, node.cur)
+		return node.startSegment()
+
+	case stageValidator:
+		va := node.machine.(*consensus.Validator)
+		same, out, _ := va.Output()
+		node.agreedVal = out
+		node.stage = stageSameConsensus
+		node.machine = consensus.NewPhaseKing(node.idx, node.memberLinks, same)
+		return node.wrapSub(node.machine.Step(nil))
+
+	case stageSameConsensus:
+		pk := node.machine.(*consensus.PhaseKing)
+		same, _ := pk.Output()
+		if !same {
+			return node.split()
+		}
+		node.diffBit = node.curVal != node.agreedVal
+		node.stage = stageDiffExchange
+		node.machine = consensus.NewExchange(node.idx, node.memberLinks, consensus.Bit(node.diffBit))
+		return node.wrapSub(node.machine.Step(nil))
+
+	case stageDiffExchange:
+		ex := node.machine.(*consensus.Exchange)
+		reports := 0
+		for _, v := range ex.Votes() {
+			if v.AsBit() {
+				reports++
+			}
+		}
+		diffPrime := node.diffBit
+		if reports >= node.diffThreshold() {
+			diffPrime = true
+		}
+		node.stage = stageDiffConsensus
+		node.machine = consensus.NewPhaseKing(node.idx, node.memberLinks, diffPrime)
+		return node.wrapSub(node.machine.Step(nil))
+
+	default: // stageDiffConsensus
+		pk := node.machine.(*consensus.PhaseKing)
+		diff, _ := pk.Output()
+		if diff {
+			return node.split()
+		}
+		// Success: the committee agreed on ⟨s', cnt'⟩ and a majority of
+		// correct members holds the matching segment.
+		if node.curVal != node.agreedVal {
+			node.dirty = append(node.dirty, node.cur)
+			cnt := int(node.agreedVal.Lo)
+			if cnt < 0 || cnt > node.cur.Size() {
+				cnt = node.cur.Size()
+			}
+			node.list.ReplaceRange(node.cur.Lo, node.cur.Hi, cnt)
+		}
+		node.processed = append(node.processed, node.cur)
+		return node.startSegment()
+	}
+}
+
+// split divides the current segment in half and recurses (bottom half
+// first), the paper's divide-and-conquer step.
+func (node *ByzNode) split() sim.Outbox {
+	node.stack = append(node.stack, node.cur.Top(), node.cur.Bot())
+	return node.startSegment()
+}
+
+// diffThreshold is the "many diff reports" cutoff: with fewer than one
+// third Byzantine members per view, ⌈|C|/3⌉ reports guarantee at least
+// one correct reporter, while all-correct-consistent segments can never
+// reach it.
+func (node *ByzNode) diffThreshold() int {
+	return (len(node.memberLinks) + 2) / 3
+}
+
+// wrapSub converts consensus messages into simulator payloads tagged with
+// the current subprotocol counter.
+func (node *ByzNode) wrapSub(msgs []consensus.Msg) sim.Outbox {
+	if len(msgs) == 0 {
+		return nil
+	}
+	valueBits := 61 + bitsFor(len(node.cfg.IDs))
+	pcBits := bitsFor(node.pc + 1)
+	out := make(sim.Outbox, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, sim.Message{
+			From: node.idx,
+			To:   m.To,
+			Payload: SubPayload{
+				PC: node.pc, Val: m.Val,
+				ValueBits: valueBits, PCBits: pcBits,
+			},
+		})
+	}
+	return out
+}
+
+// distribute sends the NEW messages (Section 3.1, "Distribute new
+// identities"): for every identity the member heard directly, the rank in
+// the agreed list if the identity's segment is clean, an abstention
+// otherwise.
+func (node *ByzNode) distribute() sim.Outbox {
+	out := make(sim.Outbox, 0, len(node.knownLink))
+	for id, link := range node.knownLink {
+		payload := NewPayload{SizeSmallN: node.n}
+		if node.list.Get(id) && !node.inDirty(id) {
+			payload.NewID = node.list.Rank(id) + 1
+		} else {
+			payload.Null = true
+		}
+		out = append(out, sim.Message{From: node.idx, To: link, Payload: payload})
+	}
+	return out
+}
+
+func (node *ByzNode) inDirty(id int) bool {
+	for _, seg := range node.dirty {
+		if seg.ContainsValue(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// absorbNew accumulates NEW messages from committee members (one per
+// sender; only committee links count).
+func (node *ByzNode) absorbNew(inbox []sim.Message) {
+	for _, msg := range inbox {
+		p, ok := msg.Payload.(NewPayload)
+		if !ok {
+			continue
+		}
+		if !node.isMemberLink(msg.From) {
+			continue
+		}
+		if _, dup := node.newVotes[msg.From]; dup {
+			continue
+		}
+		node.newVotes[msg.From] = p
+	}
+}
+
+func (node *ByzNode) isMemberLink(link int) bool {
+	i := sort.SearchInts(node.memberLinks, link)
+	return i < len(node.memberLinks) && node.memberLinks[i] == link
+}
+
+// tryDecide decides once a strong quorum of committee members responded:
+// Byzantine members alone (< |C|/3) can never reach the threshold, and
+// once the genuine distribution round arrives, the correct members
+// (≥ |C| − t) push the count over it. The plurality non-null value wins;
+// clean correct members (> |C|/3 of them, Lemma 3.11) outnumber any value
+// Byzantine members fabricate.
+func (node *ByzNode) tryDecide() {
+	if node.decided {
+		node.halted = true
+		return
+	}
+	m := len(node.memberLinks)
+	if m == 0 {
+		return
+	}
+	t := (m+2)/3 - 1
+	if len(node.newVotes) < m-t {
+		return
+	}
+	counts := make(map[int]int)
+	for _, v := range node.newVotes {
+		if !v.Null {
+			counts[v.NewID]++
+		}
+	}
+	best, bestCount := 0, 0
+	for id, c := range counts {
+		if c > bestCount || (c == bestCount && id < best) {
+			best, bestCount = id, c
+		}
+	}
+	if bestCount == 0 {
+		return
+	}
+	node.newID = best
+	node.decided = true
+	node.halted = true
+}
+
+func dedupMembers(ms []member) []member {
+	out := ms[:0]
+	var last member
+	for i, m := range ms {
+		if i > 0 && m.id == last.id {
+			continue
+		}
+		out = append(out, m)
+		last = m
+	}
+	return out
+}

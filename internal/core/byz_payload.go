@@ -1,0 +1,86 @@
+package core
+
+import (
+	"renaming/internal/consensus"
+	"renaming/internal/sim"
+)
+
+// Payload kinds of the Byzantine-resilient algorithm.
+const (
+	KindElect    = "elect"    // committee-membership announcement
+	KindAnnounce = "announce" // original-identity announcement to the committee
+	KindSub      = "sub"      // Validator/Consensus/diff subprotocol traffic
+	KindNew      = "new"      // new-identity distribution
+)
+
+// ElectPayload announces that the (authenticated) sender's identity is in
+// the shared candidate pool. It carries the identity so receivers can
+// check pool membership and verify the authentication binding.
+type ElectPayload struct {
+	ID    int
+	SizeN int
+}
+
+var _ sim.Payload = ElectPayload{}
+
+// Kind implements sim.Payload.
+func (ElectPayload) Kind() string { return KindElect }
+
+// Bits implements sim.Payload.
+func (p ElectPayload) Bits() int { return bitsFor(p.SizeN) }
+
+// AnnouncePayload carries a node's original identity to a committee
+// member during aggregation.
+type AnnouncePayload struct {
+	ID    int
+	SizeN int
+}
+
+var _ sim.Payload = AnnouncePayload{}
+
+// Kind implements sim.Payload.
+func (AnnouncePayload) Kind() string { return KindAnnounce }
+
+// Bits implements sim.Payload.
+func (p AnnouncePayload) Bits() int { return bitsFor(p.SizeN) }
+
+// SubPayload wraps one committee subprotocol message (Validator vote or
+// echo, phase-king vote or tiebreak, diff report). PC is the sender's
+// subprotocol round counter; correct members advance in lockstep, so
+// receivers accept exactly the messages tagged with the expected counter
+// and discard stale or replayed Byzantine traffic.
+type SubPayload struct {
+	PC  int
+	Val consensus.Value
+
+	// ValueBits is the semantic width of Val for bit accounting: a
+	// fingerprint–counter pair costs 61 + ceil(log2 n) bits, a binary
+	// vote costs 1 bit.
+	ValueBits int
+	// PCBits is the width of the round counter.
+	PCBits int
+}
+
+var _ sim.Payload = SubPayload{}
+
+// Kind implements sim.Payload.
+func (SubPayload) Kind() string { return KindSub }
+
+// Bits implements sim.Payload.
+func (p SubPayload) Bits() int { return p.ValueBits + p.PCBits }
+
+// NewPayload distributes a node's new identity. Null marks that the
+// sender's copy of the recipient's segment was dirty, so it abstains.
+type NewPayload struct {
+	NewID      int
+	Null       bool
+	SizeSmallN int
+}
+
+var _ sim.Payload = NewPayload{}
+
+// Kind implements sim.Payload.
+func (NewPayload) Kind() string { return KindNew }
+
+// Bits implements sim.Payload.
+func (p NewPayload) Bits() int { return bitsFor(p.SizeSmallN) + 1 }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"renaming/internal/consensus"
+	"renaming/internal/sim"
+)
+
+// ByzBehavior selects how a Byzantine node misbehaves. The adversary
+// "Carlo" is static: the corrupted set and each node's behaviour are
+// fixed before activation (Section 1).
+type ByzBehavior int
+
+const (
+	// BehaviorSilent never sends anything — the Byzantine simulation of
+	// a crash failure.
+	BehaviorSilent ByzBehavior = iota + 1
+	// BehaviorSplitWorld announces its identity to only half of the
+	// committee, the paper's central attack: correct committee members
+	// end up with diverging identity lists, forcing the fingerprint
+	// divide-and-conquer to isolate the difference.
+	BehaviorSplitWorld
+	// BehaviorEquivocate is BehaviorSplitWorld plus active subprotocol
+	// interference: it joins the committee when sampled, sends
+	// conflicting random values to different members in every
+	// subprotocol round, reports random diffs, and fabricates early NEW
+	// messages to lure nodes into deciding on fake identities.
+	BehaviorEquivocate
+	// BehaviorSpam floods every node with correctly-tagged garbage
+	// subprotocol messages and fake NEW messages every round.
+	BehaviorSpam
+	// BehaviorMinoritySplit withholds its identity announcement from a
+	// sub-third minority of the committee. Unlike the half/half split,
+	// the majority still reaches validator agreement, so the segment
+	// consensus *succeeds* and the deprived minority must take the dirty
+	// path: rewrite the segment to the agreed popcount and abstain from
+	// distributing identities inside it.
+	BehaviorMinoritySplit
+	// BehaviorRushingEquivocate exploits the rushing power of the
+	// synchronous model (run it under sim.WithRushing): each round it
+	// inspects the honest subprotocol messages of the *current* round
+	// before speaking and sends the least common value to one half of
+	// the committee and the most common to the other — the strongest
+	// vote-splitting pressure a single Byzantine member can apply to the
+	// phase-king and validator thresholds.
+	BehaviorRushingEquivocate
+)
+
+// ByzAttacker is a Byzantine node driven by a fixed behaviour. It knows
+// everything a node may know: the shared randomness (public), its own
+// identity, and the committee membership it observes.
+type ByzAttacker struct {
+	idx      int
+	id       int
+	n        int
+	cfg      ByzConfig
+	behavior ByzBehavior
+	rng      *rand.Rand
+
+	poolSet     map[int]bool
+	memberLinks []int
+	inPool      bool
+}
+
+var _ sim.Node = (*ByzAttacker)(nil)
+
+// NewByzAttacker constructs a Byzantine node at link idx with the given
+// behaviour.
+func NewByzAttacker(cfg ByzConfig, idx int, behavior ByzBehavior) *ByzAttacker {
+	pool := cfg.Pool()
+	poolSet := make(map[int]bool, len(pool))
+	for _, id := range pool {
+		poolSet[id] = true
+	}
+	return &ByzAttacker{
+		idx:      idx,
+		id:       cfg.IDs[idx],
+		n:        len(cfg.IDs),
+		cfg:      cfg,
+		behavior: behavior,
+		rng:      sim.NewRand(cfg.Seed, 0x62797a<<20|uint64(idx)), // "byz" stream
+		poolSet:  poolSet,
+		inPool:   false,
+	}
+}
+
+// Output implements sim.Node; an attacker never decides.
+func (a *ByzAttacker) Output() (int, bool) { return 0, false }
+
+// Halted implements sim.Node. Attackers report halted so the network can
+// stop as soon as every correct node finished; they still get stepped (and
+// can keep attacking) until then.
+func (a *ByzAttacker) Halted() bool { return true }
+
+// Step implements sim.Node.
+func (a *ByzAttacker) Step(round int, inbox []sim.Message) sim.Outbox {
+	if a.behavior == BehaviorSilent {
+		return nil
+	}
+	switch round {
+	case 0:
+		// Announce committee candidacy like an honest node would: the
+		// attacker wants to be inside the committee.
+		if a.poolSet[a.id] {
+			a.inPool = true
+			return sim.Broadcast(a.idx, a.n, ElectPayload{ID: a.id, SizeN: a.cfg.N})
+		}
+		return nil
+	case 1:
+		a.learnCommittee(inbox)
+		return a.splitAnnounce()
+	default:
+		return a.attackRound(round, inbox)
+	}
+}
+
+func (a *ByzAttacker) learnCommittee(inbox []sim.Message) {
+	for _, msg := range inbox {
+		e, ok := msg.Payload.(ElectPayload)
+		if !ok || !a.poolSet[e.ID] || !a.cfg.VerifyIdentity(msg.From, e.ID) {
+			continue
+		}
+		a.memberLinks = append(a.memberLinks, msg.From)
+	}
+	sort.Ints(a.memberLinks)
+}
+
+// splitAnnounce sends the identity announcement to a behaviour-dependent
+// subset of the committee (sorted by link): the first half for the
+// half/half split (maximizing identity-list divergence and forcing
+// recursion), or all but a sub-third minority for the minority split
+// (forcing the dirty path).
+func (a *ByzAttacker) splitAnnounce() sim.Outbox {
+	targets := a.memberLinks
+	switch {
+	case len(a.memberLinks) <= 1:
+	case a.behavior == BehaviorMinoritySplit:
+		skip := (len(a.memberLinks) + 3) / 4 // < 1/3: agreement still reached
+		targets = a.memberLinks[skip:]
+	default:
+		targets = a.memberLinks[:len(a.memberLinks)/2]
+	}
+	return sim.Multicast(a.idx, targets, AnnouncePayload{ID: a.id, SizeN: a.cfg.N})
+}
+
+// attackRound emits the behaviour's per-round interference. Subprotocol
+// messages are tagged with the counter value honest members use in this
+// round (pc = round − 2), so they pass the receivers' freshness filter.
+func (a *ByzAttacker) attackRound(round int, inbox []sim.Message) sim.Outbox {
+	switch a.behavior {
+	case BehaviorRushingEquivocate:
+		if !a.inPool {
+			return nil
+		}
+		return a.rushSplit(round, inbox)
+	case BehaviorEquivocate:
+		if !a.inPool {
+			return a.fakeNew(round)
+		}
+		out := a.equivocateSub(round, a.memberLinks)
+		out = append(out, a.fakeNew(round)...)
+		return out
+	case BehaviorSpam:
+		targets := make([]int, a.n)
+		for i := range targets {
+			targets[i] = i
+		}
+		out := a.equivocateSub(round, targets)
+		for _, to := range targets {
+			out = append(out, sim.Message{From: a.idx, To: to, Payload: NewPayload{
+				NewID: a.rng.Intn(a.n) + 1, SizeSmallN: a.n,
+			}})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// rushSplit reads the previewed current-round honest votes (tagged with
+// this round's counter) and sends the least common value to the first
+// half of the committee and the most common to the rest.
+func (a *ByzAttacker) rushSplit(round int, inbox []sim.Message) sim.Outbox {
+	pc := round - 2
+	counts := make(map[consensus.Value]int)
+	for _, msg := range inbox {
+		s, ok := msg.Payload.(SubPayload)
+		if !ok || s.PC != pc {
+			continue
+		}
+		counts[s.Val]++
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	var most, least consensus.Value
+	mostC, leastC := -1, 1<<30
+	for v, c := range counts {
+		if c > mostC || (c == mostC && consensus.Less(v, most)) {
+			most, mostC = v, c
+		}
+		if c < leastC || (c == leastC && consensus.Less(v, least)) {
+			least, leastC = v, c
+		}
+	}
+	valueBits := 61 + bitsFor(a.n)
+	out := make(sim.Outbox, 0, len(a.memberLinks))
+	for idx, to := range a.memberLinks {
+		val := most
+		if idx < len(a.memberLinks)/2 {
+			val = least
+		}
+		out = append(out, sim.Message{From: a.idx, To: to, Payload: SubPayload{
+			PC: pc, Val: val, ValueBits: valueBits, PCBits: bitsFor(pc + 1),
+		}})
+	}
+	return out
+}
+
+// equivocateSub sends a different random subprotocol value to each target.
+func (a *ByzAttacker) equivocateSub(round int, targets []int) sim.Outbox {
+	pc := round - 2
+	valueBits := 61 + bitsFor(a.n)
+	out := make(sim.Outbox, 0, len(targets))
+	for _, to := range targets {
+		val := consensus.Value{Hi: a.rng.Uint64() >> 3, Lo: uint64(a.rng.Intn(a.n + 1))}
+		if a.rng.Intn(2) == 0 {
+			val = consensus.Bit(a.rng.Intn(2) == 0) // plausible binary vote
+		}
+		out = append(out, sim.Message{From: a.idx, To: to, Payload: SubPayload{
+			PC: pc, Val: val, ValueBits: valueBits, PCBits: bitsFor(pc + 1),
+		}})
+	}
+	return out
+}
+
+// fakeNew occasionally sends fabricated NEW messages to random nodes,
+// probing the decision threshold.
+func (a *ByzAttacker) fakeNew(round int) sim.Outbox {
+	if round%3 != 0 {
+		return nil
+	}
+	out := make(sim.Outbox, 0, 4)
+	for k := 0; k < 4; k++ {
+		to := a.rng.Intn(a.n)
+		out = append(out, sim.Message{From: a.idx, To: to, Payload: NewPayload{
+			NewID: a.rng.Intn(a.n) + 1, SizeSmallN: a.n,
+		}})
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"renaming/internal/consensus"
+	"renaming/internal/sim"
+)
+
+// byzRun wires a mixed honest/Byzantine population and runs it to
+// completion.
+type byzRun struct {
+	cfg     ByzConfig
+	nw      *sim.Network
+	honest  map[int]*ByzNode // link → node
+	byzSet  map[int]bool
+	correct []int // links of correct nodes
+}
+
+// buildByzRun makes nodes at the links listed in byz Byzantine with the
+// given behaviour, everyone else honest.
+func buildByzRun(t *testing.T, cfg ByzConfig, byz map[int]ByzBehavior) *byzRun {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	n := len(cfg.IDs)
+	run := &byzRun{cfg: cfg, honest: make(map[int]*ByzNode), byzSet: make(map[int]bool)}
+	simNodes := make([]sim.Node, n)
+	var byzLinks, rushLinks []int
+	for i := 0; i < n; i++ {
+		if behavior, bad := byz[i]; bad {
+			simNodes[i] = NewByzAttacker(cfg, i, behavior)
+			run.byzSet[i] = true
+			byzLinks = append(byzLinks, i)
+			if behavior == BehaviorRushingEquivocate {
+				rushLinks = append(rushLinks, i)
+			}
+			continue
+		}
+		node := NewByzNode(cfg, i)
+		run.honest[i] = node
+		run.correct = append(run.correct, i)
+		simNodes[i] = node
+	}
+	run.nw = sim.NewNetwork(simNodes, sim.WithByzantine(byzLinks), sim.WithRushing(rushLinks))
+	return run
+}
+
+// maxRounds estimates a generous round budget from the committee size.
+func (run *byzRun) maxRounds() int {
+	n := len(run.cfg.IDs)
+	committee := n // worst case everyone
+	perIter := consensus.ValidatorRounds + 2*consensus.RoundsFor(committee) + consensus.ExchangeRounds + 2
+	iters := 4*(len(run.byzSet)+1)*(log2Ceil(run.cfg.N)+1) + 8
+	return 3 + 2*perIter*iters
+}
+
+func (run *byzRun) execute(t *testing.T) {
+	t.Helper()
+	if err := run.nw.Run(run.maxRounds()); err != nil {
+		for _, link := range run.correct {
+			node := run.honest[link]
+			if _, ok := node.Output(); !ok {
+				t.Logf("correct node %d undecided: phase committee=%d votes=%d",
+					link, node.CommitteeSize(), len(node.newVotes))
+			}
+		}
+		t.Fatalf("run: %v (round %d)", err, run.nw.Round())
+	}
+}
+
+// assumptionHolds reports whether the committee composition satisfies the
+// paper's requirement (Byzantine members strictly below one third of the
+// committee view) — runs violating it are outside the algorithm's
+// guarantee envelope.
+func (run *byzRun) assumptionHolds() bool {
+	if len(run.correct) == 0 {
+		return false
+	}
+	anyCorrect := run.honest[run.correct[0]]
+	if anyCorrect.CommitteeSize() == 0 {
+		return false
+	}
+	byzInCommittee := 0
+	for _, m := range anyCorrect.committee {
+		if run.byzSet[m.link] {
+			byzInCommittee++
+		}
+	}
+	return 3*byzInCommittee < anyCorrect.CommitteeSize()
+}
+
+// checkStrongOrderPreserving asserts uniqueness, range, and order
+// preservation over the correct nodes.
+func (run *byzRun) checkStrongOrderPreserving(t *testing.T) {
+	t.Helper()
+	n := len(run.cfg.IDs)
+	type pair struct{ oldID, newID int }
+	var pairs []pair
+	seen := make(map[int]int)
+	for _, link := range run.correct {
+		node := run.honest[link]
+		newID, ok := node.Output()
+		if !ok {
+			t.Fatalf("correct node %d (id %d) undecided", link, run.cfg.IDs[link])
+		}
+		if newID < 1 || newID > n {
+			t.Fatalf("node %d new id %d outside [1,%d]", link, newID, n)
+		}
+		if prev, dup := seen[newID]; dup {
+			t.Fatalf("nodes %d and %d share new id %d", prev, link, newID)
+		}
+		seen[newID] = link
+		pairs = append(pairs, pair{oldID: run.cfg.IDs[link], newID: newID})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].oldID < pairs[b].oldID })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].newID <= pairs[i-1].newID {
+			t.Fatalf("order violated: old %d→%d but old %d→%d",
+				pairs[i-1].oldID, pairs[i-1].newID, pairs[i].oldID, pairs[i].newID)
+		}
+	}
+}
+
+// checkPartitions asserts Lemma 3.8: all correct committee members
+// processed the identical segment partition of [1, N].
+func (run *byzRun) checkPartitions(t *testing.T) {
+	t.Helper()
+	var reference []string
+	for _, link := range run.correct {
+		node := run.honest[link]
+		if !node.Elected() {
+			continue
+		}
+		var segs []string
+		total := 0
+		for _, seg := range node.Partition() {
+			segs = append(segs, seg.String())
+			total += seg.Size()
+		}
+		sort.Strings(segs)
+		if total != run.cfg.N {
+			t.Fatalf("member %d partition covers %d ≠ N=%d", link, total, run.cfg.N)
+		}
+		if reference == nil {
+			reference = segs
+			continue
+		}
+		if len(segs) != len(reference) {
+			t.Fatalf("member %d partition size %d ≠ %d", link, len(segs), len(reference))
+		}
+		for i := range segs {
+			if segs[i] != reference[i] {
+				t.Fatalf("member %d partition differs at %d: %s vs %s", link, i, segs[i], reference[i])
+			}
+		}
+	}
+}
+
+func byzConfig(n, bigN int, seed int64, poolProb float64) ByzConfig {
+	ids := make([]int, n)
+	gap := bigN / n
+	for i := range ids {
+		ids[i] = i*gap + 1
+	}
+	return ByzConfig{N: bigN, IDs: ids, Seed: seed, PoolProb: poolProb}
+}
+
+func TestByzNoFaults(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 33} {
+		cfg := byzConfig(n, 4*n, int64(n), 0) // paper constants: everyone on committee
+		run := buildByzRun(t, cfg, nil)
+		run.execute(t)
+		run.checkStrongOrderPreserving(t)
+		run.checkPartitions(t)
+	}
+}
+
+func TestByzSilentFaults(t *testing.T) {
+	n := 24
+	cfg := byzConfig(n, 6*n, 3, 0)
+	byz := map[int]ByzBehavior{2: BehaviorSilent, 9: BehaviorSilent, 17: BehaviorSilent}
+	run := buildByzRun(t, cfg, byz)
+	run.execute(t)
+	if !run.assumptionHolds() {
+		t.Skip("committee composition outside guarantee envelope")
+	}
+	run.checkStrongOrderPreserving(t)
+	run.checkPartitions(t)
+}
+
+func TestByzSplitWorld(t *testing.T) {
+	n := 24
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := byzConfig(n, 8*n, seed, 0)
+		byz := map[int]ByzBehavior{1: BehaviorSplitWorld, 7: BehaviorSplitWorld, 13: BehaviorSplitWorld}
+		run := buildByzRun(t, cfg, byz)
+		run.execute(t)
+		if !run.assumptionHolds() {
+			continue
+		}
+		run.checkStrongOrderPreserving(t)
+		run.checkPartitions(t)
+	}
+}
+
+func TestByzEquivocators(t *testing.T) {
+	n := 24
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := byzConfig(n, 8*n, seed, 0)
+		byz := map[int]ByzBehavior{3: BehaviorEquivocate, 11: BehaviorEquivocate}
+		run := buildByzRun(t, cfg, byz)
+		run.execute(t)
+		if !run.assumptionHolds() {
+			continue
+		}
+		run.checkStrongOrderPreserving(t)
+		run.checkPartitions(t)
+	}
+}
+
+func TestByzSpammer(t *testing.T) {
+	n := 16
+	cfg := byzConfig(n, 4*n, 5, 0)
+	byz := map[int]ByzBehavior{4: BehaviorSpam}
+	run := buildByzRun(t, cfg, byz)
+	run.execute(t)
+	if !run.assumptionHolds() {
+		t.Skip("committee composition outside guarantee envelope")
+	}
+	run.checkStrongOrderPreserving(t)
+	run.checkPartitions(t)
+}
+
+// TestByzSmallCommittee uses a pool-probability override so the committee
+// is a strict subset of the nodes, exercising the member/non-member
+// asymmetry and the NEW quorum logic.
+func TestByzSmallCommittee(t *testing.T) {
+	n := 48
+	found := false
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := byzConfig(n, 4*n, seed, 0.15)
+		byz := map[int]ByzBehavior{5: BehaviorSplitWorld, 19: BehaviorEquivocate}
+		run := buildByzRun(t, cfg, byz)
+		run.execute(t)
+		if !run.assumptionHolds() {
+			continue
+		}
+		found = true
+		run.checkStrongOrderPreserving(t)
+		run.checkPartitions(t)
+	}
+	if !found {
+		t.Fatal("no seed produced a committee satisfying the assumption")
+	}
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// CrashConfig parameterizes the crash-resilient renaming algorithm.
+type CrashConfig struct {
+	// N is the size of the original namespace [N].
+	N int
+	// IDs maps link index → original identity; identities are unique
+	// values in [1, N].
+	IDs []int
+	// Seed drives every random choice of the execution.
+	Seed int64
+	// CommitteeScale multiplies the paper's election constant 256. The
+	// paper's constant makes the election probability exceed 1 for
+	// laptop-scale n (collapsing the committee to everyone); scaling it
+	// down lets experiments exercise genuinely small committees. The
+	// default 0 means 1.0, i.e. the paper's constant.
+	CommitteeScale float64
+	// DisableReelectionDoubling is the A1 ablation: after a committee
+	// wipe, nodes re-elect with the *initial* probability instead of
+	// doubling it. Without doubling the adversary can keep wiping
+	// committees at constant per-phase cost, so the algorithm loses the
+	// resource-competitive property (and may run out of phases).
+	DisableReelectionDoubling bool
+	// EarlyStop enables the early-stopping extension: a committee member
+	// that sees only unit intervals in a phase flags Done in its
+	// responses, and nodes halt on the first Done they receive. Safety
+	// is unaffected (a unit interval never changes), and in failure-free
+	// runs the round count drops from 9·ceil(log2 n) to roughly
+	// 3·(ceil(log2 n)+2) — the adaptive-time behaviour of the
+	// resource-competitive renaming line of work.
+	EarlyStop bool
+}
+
+func (cfg CrashConfig) scale() float64 {
+	if cfg.CommitteeScale <= 0 {
+		return 1
+	}
+	return cfg.CommitteeScale
+}
+
+// Validate checks the configuration.
+func (cfg CrashConfig) Validate() error {
+	n := len(cfg.IDs)
+	if n == 0 {
+		return fmt.Errorf("core: no nodes configured")
+	}
+	if cfg.N < n {
+		return fmt.Errorf("core: namespace N=%d smaller than n=%d", cfg.N, n)
+	}
+	seen := make(map[int]bool, n)
+	for i, id := range cfg.IDs {
+		if id < 1 || id > cfg.N {
+			return fmt.Errorf("core: node %d has identity %d outside [1,%d]", i, id, cfg.N)
+		}
+		if seen[id] {
+			return fmt.Errorf("core: duplicate identity %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// Phases returns the paper's phase count 3·ceil(log2 n).
+func (cfg CrashConfig) Phases() int { return 3 * log2Ceil(len(cfg.IDs)) }
+
+// TotalRounds returns the number of synchronous rounds a full execution
+// takes: three per phase plus the final response-processing round.
+func (cfg CrashConfig) TotalRounds() int {
+	if cfg.Phases() == 0 {
+		return 0
+	}
+	return 3*cfg.Phases() + 1
+}
+
+// CrashPeek is the adversary-visible snapshot of a crash node's state; it
+// satisfies the adversary package's CommitteeInfo interface.
+type CrashPeek struct {
+	Elected bool
+	P       int
+	D       int
+	Decided bool
+}
+
+// IsCommitteeMember reports whether the node currently has elected=true.
+func (s CrashPeek) IsCommitteeMember() bool { return s.Elected }
+
+// CrashNode is one participant of the crash-resilient algorithm
+// (Figures 1–3). Each phase spans three synchronous rounds:
+//
+//	round 3k   — NodeAction on the previous phase's responses, then
+//	             committee members broadcast their Notify announcement;
+//	round 3k+1 — nodes that received announcements send their Status to
+//	             every active committee member;
+//	round 3k+2 — committee members run CommitteeAction on the received
+//	             statuses and send per-node Response decisions.
+//
+// Responses sent in round 3k+2 are delivered in round 3(k+1), which is
+// where the next NodeAction runs — matching the paper's "end of phase"
+// processing.
+type CrashNode struct {
+	idx int // link index
+	id  int // original identity in [1, N]
+	n   int
+	cfg CrashConfig
+	rng *rand.Rand
+
+	iv          interval.Interval
+	p           int
+	d           int
+	elected     bool
+	everElected bool
+
+	phases  int
+	halted  bool
+	decided bool
+
+	// committeeLinks holds, during rounds 3k+1 and 3k+2, the links that
+	// announced committee membership this phase.
+	committeeLinks []int
+}
+
+var _ sim.Node = (*CrashNode)(nil)
+
+// NewCrashNode constructs the node at link index idx. The initial
+// self-election with probability 256·log n/n (Figure 1 line 2) happens
+// here, at activation time.
+func NewCrashNode(cfg CrashConfig, idx int) *CrashNode {
+	n := len(cfg.IDs)
+	node := &CrashNode{
+		idx:    idx,
+		id:     cfg.IDs[idx],
+		n:      n,
+		cfg:    cfg,
+		rng:    sim.NewRand(cfg.Seed, 0x6372617368<<16|uint64(idx)), // "crash" stream
+		iv:     interval.Full(n),
+		phases: cfg.Phases(),
+	}
+	if node.phases == 0 {
+		// n == 1: the interval [1,1] is already a unit; nothing to do.
+		node.halted = true
+		node.decided = true
+		return node
+	}
+	node.elected = node.rng.Float64() < node.electProb(0)
+	node.everElected = node.elected
+	return node
+}
+
+// electProb returns min(1, 256·2^p·log2(n)·scale / n).
+func (node *CrashNode) electProb(p int) float64 {
+	logn := float64(log2Ceil(node.n))
+	prob := 256 * float64(uint64(1)<<uint(min(p, 62))) * logn * node.cfg.scale() / float64(node.n)
+	if prob > 1 {
+		return 1
+	}
+	return prob
+}
+
+// Peek exposes the adversary-visible state snapshot.
+func (node *CrashNode) Peek() CrashPeek {
+	return CrashPeek{Elected: node.elected, P: node.p, D: node.d, Decided: node.iv.Unit()}
+}
+
+// Output returns the node's new identity once its interval is a unit.
+func (node *CrashNode) Output() (int, bool) {
+	if v, ok := node.iv.Value(); ok && node.decided {
+		return v, true
+	}
+	return 0, false
+}
+
+// Halted implements sim.Node.
+func (node *CrashNode) Halted() bool { return node.halted }
+
+// Elected reports whether the node is currently a committee member.
+func (node *CrashNode) Elected() bool { return node.elected }
+
+// EverElected reports whether the node was a committee member at any
+// point — the quantity Lemma 2.6 bounds by O(min{2^p·log n, n}).
+func (node *CrashNode) EverElected() bool { return node.everElected }
+
+// State returns (interval, depth, probability exponent) for invariant
+// checks in tests.
+func (node *CrashNode) State() (interval.Interval, int, int) { return node.iv, node.d, node.p }
+
+// Step implements sim.Node.
+func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if node.halted {
+		return nil
+	}
+	switch round % 3 {
+	case 0:
+		node.nodeAction(round, inbox)
+		if node.halted {
+			return nil
+		}
+		if node.elected {
+			return sim.Broadcast(node.idx, node.n, NotifyPayload{})
+		}
+		return nil
+	case 1:
+		node.committeeLinks = node.committeeLinks[:0]
+		for _, msg := range inbox {
+			if _, ok := msg.Payload.(NotifyPayload); ok {
+				node.committeeLinks = append(node.committeeLinks, msg.From)
+			}
+		}
+		status := StatusPayload{
+			ID: node.id, I: node.iv, D: node.d, P: node.p,
+			SizeN: node.cfg.N, SizeSmallN: node.n,
+		}
+		return sim.Multicast(node.idx, node.committeeLinks, status)
+	default:
+		if !node.elected {
+			return nil
+		}
+		return node.committeeAction(inbox)
+	}
+}
+
+// statusMsg pairs a received status with its sender link.
+type statusMsg struct {
+	link int
+	s    StatusPayload
+}
+
+// committeeAction implements Figure 2. The committee member halves the
+// intervals of exactly the minimum-depth statuses; deeper statuses are
+// echoed unchanged (with the member's fresher p), which keeps all nodes
+// at most one depth level apart.
+func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
+	var statuses []statusMsg
+	for _, msg := range inbox {
+		if s, ok := msg.Payload.(StatusPayload); ok {
+			statuses = append(statuses, statusMsg{link: msg.From, s: s})
+		}
+	}
+	if len(statuses) == 0 {
+		return nil
+	}
+
+	// Figure 1 line 10: adopt the maximum received p.
+	for _, m := range statuses {
+		if m.s.P > node.p {
+			node.p = m.s.P
+		}
+	}
+
+	// d~ = minimum depth among received statuses.
+	minDepth := statuses[0].s.D
+	for _, m := range statuses {
+		if m.s.D < minDepth {
+			minDepth = m.s.D
+		}
+	}
+
+	allUnit := true
+	for _, m := range statuses {
+		if !m.s.I.Unit() {
+			allUnit = false
+			break
+		}
+	}
+
+	out := make(sim.Outbox, 0, len(statuses))
+	for _, m := range statuses {
+		w := m.s
+		resp := ResponsePayload{ID: w.ID, SizeN: node.cfg.N, SizeSmallN: node.n,
+			Done: node.cfg.EarlyStop && allUnit}
+		switch {
+		case w.D != minDepth:
+			// Deeper than the frontier: echo unchanged (Figure 2 line 11).
+			resp.I, resp.D = w.I, w.D
+		case w.I.Unit():
+			// A node whose interval already shrank to a unit sits at the
+			// frontier only when every interval at this depth has size at
+			// most two (level sizes differ by at most one). Halving a
+			// unit interval is undefined; echo it with incremented depth
+			// so the frontier can move on. The recipient ignores the
+			// response anyway (NodeAction only updates when |I_v| > 1).
+			resp.I, resp.D = w.I, w.D+1
+		default:
+			// The halving rule of Figure 2 lines 4–9.
+			var ids []int       // ID_(u,w): identities choosing exactly I_w
+			var subBotCount int // |B_(u,w)|: identities inside bot(I_w)
+			bot := w.I.Bot()
+			for _, o := range statuses {
+				if o.s.I == w.I {
+					ids = append(ids, o.s.ID)
+				}
+				if bot.Contains(o.s.I) {
+					subBotCount++
+				}
+			}
+			sort.Ints(ids)
+			rank := sort.SearchInts(ids, w.ID) + 1
+			if subBotCount+rank <= bot.Size() {
+				resp.I, resp.D = bot, w.D+1
+			} else {
+				resp.I, resp.D = w.I.Top(), w.D+1
+			}
+		}
+		resp.P = node.p
+		out = append(out, sim.Message{From: node.idx, To: m.link, Payload: resp})
+	}
+	return out
+}
+
+// nodeAction implements Figure 3, run on the responses delivered at the
+// start of round 3k (sent by the committee in round 3k−1).
+func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
+	if round == 0 {
+		return // no previous phase
+	}
+	var responses []ResponsePayload
+	for _, msg := range inbox {
+		if r, ok := msg.Payload.(ResponsePayload); ok {
+			responses = append(responses, r)
+		}
+	}
+
+	if len(responses) == 0 {
+		// Figure 3 lines 1–3: the whole committee crashed this phase.
+		if !node.cfg.DisableReelectionDoubling {
+			node.p++
+		}
+		if !node.elected && node.rng.Float64() < node.electProb(node.p) {
+			node.elected = true
+			node.everElected = true
+		}
+	} else {
+		// Figure 3 lines 5–12: adopt the deepest (then leftmost)
+		// decision, then catch up on p.
+		sort.SliceStable(responses, func(a, b int) bool {
+			if responses[a].D != responses[b].D {
+				return responses[a].D > responses[b].D
+			}
+			return interval.Less(responses[a].I, responses[b].I)
+		})
+		first := responses[0]
+		if !node.iv.Unit() {
+			node.d = first.D
+			node.iv = first.I
+		}
+		maxP := node.p
+		for _, r := range responses {
+			if r.P > maxP {
+				maxP = r.P
+			}
+		}
+		if maxP > node.p {
+			node.p = maxP
+			if !node.elected && node.rng.Float64() < node.electProb(node.p) {
+				node.elected = true
+				node.everElected = true
+			}
+		}
+		if node.cfg.EarlyStop {
+			for _, r := range responses {
+				if r.Done && node.iv.Unit() {
+					node.halted = true
+					node.decided = true
+					return
+				}
+			}
+		}
+	}
+
+	if round >= 3*node.phases {
+		node.halted = true
+		node.decided = node.iv.Unit()
+	}
+}

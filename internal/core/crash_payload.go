@@ -1,0 +1,79 @@
+package core
+
+import (
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// Payload kinds of the crash-resilient algorithm.
+const (
+	KindNotify   = "notify"   // round 1: committee membership announcement
+	KindStatus   = "status"   // round 2: ⟨ID(v), I_v, d_v, p_v⟩ to the committee
+	KindResponse = "response" // round 3: committee decision per node
+)
+
+// NotifyPayload is the round-1 committee announcement. It carries no
+// fields — the (authenticated) sender link identifies the committee
+// member — so it costs a single bit.
+type NotifyPayload struct{}
+
+var _ sim.Payload = NotifyPayload{}
+
+// Kind implements sim.Payload.
+func (NotifyPayload) Kind() string { return KindNotify }
+
+// Bits implements sim.Payload.
+func (NotifyPayload) Bits() int { return 1 }
+
+// StatusPayload is the round-2 message ⟨ID(v), I_v, d_v, p_v⟩ a node
+// sends to every active committee member.
+type StatusPayload struct {
+	ID int
+	I  interval.Interval
+	D  int
+	P  int
+
+	// SizeN and SizeSmallN capture the namespace sizes so Bits can
+	// account field widths faithfully.
+	SizeN      int
+	SizeSmallN int
+}
+
+var _ sim.Payload = StatusPayload{}
+
+// Kind implements sim.Payload.
+func (StatusPayload) Kind() string { return KindStatus }
+
+// Bits implements sim.Payload.
+func (p StatusPayload) Bits() int {
+	// ID ∈ [N]; interval endpoints ∈ [n]; d ≤ ceil(log2 n)+1;
+	// p ≤ ceil(log2 n)+1 (once p reaches log2 n everyone is elected).
+	logn := log2Ceil(p.SizeSmallN)
+	return bitsFor(p.SizeN) + 2*bitsFor(p.SizeSmallN) + 2*bitsFor(logn+1)
+}
+
+// ResponsePayload is the round-3 committee decision ⟨ID(w), I, d, p⟩ sent
+// back to node w. Done is the early-stopping extension's signal (one
+// extra bit): the committee member saw only unit intervals this phase,
+// so every alive node has determined its identity and may halt.
+type ResponsePayload struct {
+	ID   int
+	I    interval.Interval
+	D    int
+	P    int
+	Done bool
+
+	SizeN      int
+	SizeSmallN int
+}
+
+var _ sim.Payload = ResponsePayload{}
+
+// Kind implements sim.Payload.
+func (ResponsePayload) Kind() string { return KindResponse }
+
+// Bits implements sim.Payload.
+func (p ResponsePayload) Bits() int {
+	logn := log2Ceil(p.SizeSmallN)
+	return bitsFor(p.SizeN) + 2*bitsFor(p.SizeSmallN) + 2*bitsFor(logn+1) + 1
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"renaming/internal/adversary"
+	"renaming/internal/interval"
+	"renaming/internal/sim"
+)
+
+// buildCrashRun wires n crash nodes into a network with the given
+// adversary and returns both.
+func buildCrashRun(t *testing.T, cfg CrashConfig, adv sim.CrashAdversary) (*sim.Network, []*CrashNode) {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	n := len(cfg.IDs)
+	nodes := make([]*CrashNode, n)
+	simNodes := make([]sim.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewCrashNode(cfg, i)
+		simNodes[i] = nodes[i]
+	}
+	opts := []sim.Option{sim.WithPeek(func(i int) any { return nodes[i].Peek() })}
+	if adv != nil {
+		opts = append(opts, sim.WithCrashAdversary(adv))
+	}
+	return sim.NewNetwork(simNodes, opts...), nodes
+}
+
+// runCrash executes a full crash-renaming execution and fails the test on
+// round-limit violations.
+func runCrash(t *testing.T, cfg CrashConfig, adv sim.CrashAdversary) (*sim.Network, []*CrashNode) {
+	t.Helper()
+	nw, nodes := buildCrashRun(t, cfg, adv)
+	if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return nw, nodes
+}
+
+// checkUnique asserts that every surviving node decided a distinct new
+// identity in [1, n] — the strong renaming guarantee.
+func checkUnique(t *testing.T, nw *sim.Network, nodes []*CrashNode) {
+	t.Helper()
+	n := len(nodes)
+	seen := make(map[int]int)
+	for i, node := range nodes {
+		if !nw.Alive(i) {
+			continue
+		}
+		newID, ok := node.Output()
+		if !ok {
+			iv, d, p := node.State()
+			t.Fatalf("alive node %d (id %d) undecided: I=%v d=%d p=%d", i, node.id, iv, d, p)
+		}
+		if newID < 1 || newID > n {
+			t.Fatalf("node %d got new id %d outside [1,%d]", i, newID, n)
+		}
+		if prev, dup := seen[newID]; dup {
+			t.Fatalf("nodes %d and %d both got new id %d", prev, i, newID)
+		}
+		seen[newID] = i
+	}
+}
+
+func seqConfig(n, bigN int, seed int64) CrashConfig {
+	ids := make([]int, n)
+	gap := bigN / n
+	for i := range ids {
+		ids[i] = i*gap + 1
+	}
+	return CrashConfig{N: bigN, IDs: ids, Seed: seed}
+}
+
+func TestCrashNoFailuresSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64} {
+		cfg := seqConfig(n, 16*n+5, int64(n))
+		nw, nodes := runCrash(t, cfg, nil)
+		checkUnique(t, nw, nodes)
+		if got := nw.Crashes(); got != 0 {
+			t.Fatalf("n=%d: unexpected crashes %d", n, got)
+		}
+	}
+}
+
+func TestCrashRandomFailures(t *testing.T) {
+	for _, n := range []int{8, 32, 64} {
+		for seed := int64(0); seed < 5; seed++ {
+			cfg := seqConfig(n, 8*n, seed)
+			adv := &adversary.RandomCrashes{
+				Budget: n - 1, Prob: 0.05, MidSendProb: 0.5,
+				Rand: rand.New(rand.NewSource(seed + 99)),
+			}
+			nw, nodes := runCrash(t, cfg, adv)
+			checkUnique(t, nw, nodes)
+		}
+	}
+}
+
+func TestCrashCommitteeKiller(t *testing.T) {
+	for _, n := range []int{16, 64} {
+		for seed := int64(0); seed < 3; seed++ {
+			cfg := seqConfig(n, 4*n, seed)
+			adv := &adversary.CommitteeKiller{
+				Budget: n - 1, MidSend: true,
+				Rand: rand.New(rand.NewSource(seed)),
+			}
+			nw, nodes := runCrash(t, cfg, adv)
+			checkUnique(t, nw, nodes)
+			if nw.AliveCount() == 0 {
+				t.Fatalf("n=%d: adversary crashed everyone (budget bug)", n)
+			}
+		}
+	}
+}
+
+// TestCrashIntervalOccupancy checks Lemma 2.3: at the end of the run, at
+// most |I| nodes chose intervals inside any node's interval I.
+func TestCrashIntervalOccupancy(t *testing.T) {
+	cfg := seqConfig(48, 500, 7)
+	adv := &adversary.RandomCrashes{Budget: 20, Prob: 0.08, Rand: rand.New(rand.NewSource(3))}
+	nw, nodes := runCrash(t, cfg, adv)
+	var ivs []interval.Interval
+	for i, node := range nodes {
+		if nw.Alive(i) {
+			iv, _, _ := node.State()
+			ivs = append(ivs, iv)
+		}
+	}
+	for _, outer := range ivs {
+		inside := 0
+		for _, inner := range ivs {
+			if outer.Contains(inner) {
+				inside++
+			}
+		}
+		if inside > outer.Size() {
+			t.Fatalf("interval %v holds %d > %d nodes", outer, inside, outer.Size())
+		}
+	}
+}
+
+// TestCrashSmallCommittee scales the election constant down so that the
+// committee is genuinely small (the paper's constant 256 makes the
+// probability exceed 1 at laptop scale), exercising the re-election and
+// conflict-resolution paths.
+func TestCrashSmallCommittee(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		for seed := int64(0); seed < 4; seed++ {
+			cfg := seqConfig(n, 4*n, seed)
+			cfg.CommitteeScale = 0.05
+			adv := &adversary.CommitteeKiller{
+				Budget: n / 2, MidSend: true, Rand: rand.New(rand.NewSource(seed * 31)),
+			}
+			nw, nodes := runCrash(t, cfg, adv)
+			checkUnique(t, nw, nodes)
+		}
+	}
+}
+
+// TestCrashDeterminism verifies that two executions with the same seed
+// are metric-identical.
+func TestCrashDeterminism(t *testing.T) {
+	run := func() (int64, int64, int) {
+		cfg := seqConfig(64, 512, 42)
+		cfg.CommitteeScale = 0.1
+		adv := &adversary.RandomCrashes{Budget: 30, Prob: 0.1, MidSendProb: 0.3,
+			Rand: rand.New(rand.NewSource(5))}
+		nw, nodes := runCrash(t, cfg, adv)
+		checkUnique(t, nw, nodes)
+		m := nw.Metrics()
+		return m.Messages, m.Bits, nw.Crashes()
+	}
+	m1, b1, f1 := run()
+	m2, b2, f2 := run()
+	if m1 != m2 || b1 != b2 || f1 != f2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", m1, b1, f1, m2, b2, f2)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"renaming/internal/sim"
+)
+
+// fuzzCrashAdversary decodes an arbitrary byte string into a crash
+// schedule: every 3-byte group (round, node, mode) crashes one node at
+// one round, with mode selecting clean vs mid-send partial delivery with
+// a byte-derived recipient mask. This explores crash timings no
+// hand-written strategy covers.
+type fuzzCrashAdversary struct {
+	orders map[int][]sim.CrashOrder
+	budget int
+}
+
+func decodeCrashSchedule(data []byte, n, rounds int) *fuzzCrashAdversary {
+	adv := &fuzzCrashAdversary{orders: make(map[int][]sim.CrashOrder), budget: n - 1}
+	issued := 0
+	for i := 0; i+2 < len(data) && issued < n-1; i += 3 {
+		round := int(data[i]) % rounds
+		node := int(data[i+1]) % n
+		mode := data[i+2]
+		order := sim.CrashOrder{Node: node}
+		if mode%2 == 1 {
+			mask := mode
+			order.Filter = func(to int) bool { return (to+int(mask))%3 != 0 }
+		}
+		adv.orders[round] = append(adv.orders[round], order)
+		issued++
+	}
+	return adv
+}
+
+// Crashes implements sim.CrashAdversary, enforcing the n−1 budget across
+// duplicated orders (the network ignores repeats on dead nodes anyway).
+func (a *fuzzCrashAdversary) Crashes(view sim.View) []sim.CrashOrder {
+	return a.orders[view.Round]
+}
+
+// FuzzCrashRenaming runs the full crash algorithm against byte-decoded
+// adversary schedules and asserts the strong renaming guarantee: every
+// surviving node decides, identities are unique and within [1, n], and
+// the round bound holds.
+func FuzzCrashRenaming(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{9, 9, 1, 9, 8, 1, 9, 7, 1, 9, 6, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 24
+		cfg := seqConfig(n, 4*n, 77)
+		cfg.CommitteeScale = 0.08
+		// The first byte also steers the optional extension knobs so the
+		// fuzzer covers the early-stop and no-doubling paths.
+		if len(data) > 0 {
+			cfg.EarlyStop = data[0]&1 == 1
+			cfg.DisableReelectionDoubling = data[0]&2 == 2
+		}
+		adv := decodeCrashSchedule(data, n, cfg.TotalRounds())
+
+		nodes := make([]*CrashNode, n)
+		simNodes := make([]sim.Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = NewCrashNode(cfg, i)
+			simNodes[i] = nodes[i]
+		}
+		nw := sim.NewNetwork(simNodes,
+			sim.WithCrashAdversary(adv),
+			sim.WithPeek(func(i int) any { return nodes[i].Peek() }),
+		)
+		if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if nw.AliveCount() == 0 {
+			return // schedule killed everyone; vacuous
+		}
+		seen := make(map[int]int)
+		for i, node := range nodes {
+			if !nw.Alive(i) {
+				continue
+			}
+			id, ok := node.Output()
+			if !ok {
+				if cfg.DisableReelectionDoubling {
+					return // the ablation is allowed to starve (see A1)
+				}
+				t.Fatalf("alive node %d undecided (schedule %v)", i, data)
+			}
+			if id < 1 || id > n {
+				t.Fatalf("node %d got id %d", i, id)
+			}
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("nodes %d and %d share id %d", prev, i, id)
+			}
+			seen[id] = i
+		}
+	})
+}
+
+// FuzzByzantineRenaming runs the Byzantine algorithm against byte-decoded
+// corruption patterns (which links are Byzantine and with which
+// behaviour) and asserts uniqueness + order preservation whenever the
+// committee assumption holds.
+func FuzzByzantineRenaming(f *testing.F) {
+	f.Add([]byte{1, 1}, int64(3))
+	f.Add([]byte{3, 2, 9, 4, 15, 1}, int64(5))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		const n = 18
+		cfg := byzConfig(n, 6*n, seed, 0)
+		maxByz := cfg.MaxByzantine()
+		byz := make(map[int]ByzBehavior)
+		for i := 0; i+1 < len(data) && len(byz) < maxByz; i += 2 {
+			link := int(data[i]) % n
+			behavior := ByzBehavior(int(data[i+1])%6) + BehaviorSilent
+			byz[link] = behavior
+		}
+		run := buildByzRun(t, cfg, byz)
+		run.execute(t)
+		if !run.assumptionHolds() {
+			return
+		}
+		run.checkStrongOrderPreserving(t)
+		run.checkPartitions(t)
+	})
+}

@@ -1,0 +1,46 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, words := range []int{1, 16, 256} {
+		input := make([]uint64, words)
+		for i := range input {
+			input[i] = rng.Uint64()
+		}
+		h := NewHasher(rng.Uint64())
+		b.Run(sizeName(words), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(words * 8))
+			for i := 0; i < b.N; i++ {
+				_ = h.Sum(input)
+			}
+		})
+	}
+}
+
+func sizeName(words int) string {
+	switch words {
+	case 1:
+		return "1word"
+	case 16:
+		return "16words"
+	default:
+		return "256words"
+	}
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	b.ReportAllocs()
+	x := uint64(0x123456789abcdef)
+	for i := 0; i < b.N; i++ {
+		x = mulMod(x, 0x2545F4914F6CDD1D&mersenne61)
+	}
+	sink = x
+}
+
+var sink uint64

@@ -1,0 +1,104 @@
+// Package hashing implements the shared-randomness hash family of Fact
+// 3.2: fingerprints whose pairwise collision probability is polynomially
+// small and that can be constructed from O(log U) shared random bits. We
+// use polynomial (Rabin-style) fingerprints over the Mersenne prime field
+// GF(2^61 − 1): a segment w_0, w_1, …, w_k of 64-bit words (each split
+// into two field elements) is mapped to Σ w_i·x^i mod p for a random
+// evaluation point x derived from the shared seed. Two distinct segments
+// of m words collide with probability at most 2m/p < 2m/2^60.
+package hashing
+
+// mersenne61 is the Mersenne prime 2^61 − 1.
+const mersenne61 = (1 << 61) - 1
+
+// Fingerprint is an O(log N)-bit digest of a bit-vector segment.
+type Fingerprint uint64
+
+// Hasher evaluates the polynomial fingerprint at a fixed random point.
+// Distinct Hashers (distinct seeds) are independent members of the family;
+// the Byzantine algorithm draws a fresh one per divide-and-conquer
+// iteration from the shared-randomness beacon.
+type Hasher struct {
+	point uint64 // evaluation point in [1, p-1]
+}
+
+// NewHasher constructs a Hasher from 64 shared random bits. The seed is
+// folded into a nonzero field element.
+func NewHasher(seed uint64) Hasher {
+	point := mod61(seed)
+	if point == 0 {
+		point = 1
+	}
+	return Hasher{point: point}
+}
+
+// Sum fingerprints a word slice. Equal slices always produce equal
+// fingerprints; unequal slices of m words collide with probability
+// ≤ 2(m+1)/2^61 over the Hasher's random point.
+func (h Hasher) Sum(words []uint64) Fingerprint {
+	// Horner evaluation over the split halves of each word so every
+	// coefficient fits the field.
+	acc := uint64(1) // length-prefix-like constant guards against trailing-zero ambiguity
+	for _, w := range words {
+		lo := w & ((1 << 32) - 1)
+		hi := w >> 32
+		acc = addMod(mulMod(acc, h.point), lo)
+		acc = addMod(mulMod(acc, h.point), hi)
+	}
+	// Bind the length explicitly: segments of different word counts with
+	// matching prefixes must not collide deterministically.
+	acc = addMod(mulMod(acc, h.point), uint64(len(words)))
+	return Fingerprint(acc)
+}
+
+// Bits returns the size of a fingerprint in bits (61-bit field element).
+func (Fingerprint) Bits() int { return 61 }
+
+func mod61(x uint64) uint64 {
+	x = (x & mersenne61) + (x >> 61)
+	if x >= mersenne61 {
+		x -= mersenne61
+	}
+	return x
+}
+
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// mulMod multiplies two field elements using 128-bit arithmetic emulated
+// with 64-bit halves, then reduces modulo 2^61 − 1.
+func mulMod(a, b uint64) uint64 {
+	aHi, aLo := a>>32, a&((1<<32)-1)
+	bHi, bLo := b>>32, b&((1<<32)-1)
+
+	// a*b = aHi*bHi*2^64 + (aHi*bLo + aLo*bHi)*2^32 + aLo*bLo
+	hh := aHi * bHi
+	hl := aHi * bLo
+	lh := aLo * bHi
+	ll := aLo * bLo
+
+	// mid = hl + lh may overflow into a 65th bit; track the carry.
+	mid := hl + lh
+	var midCarry uint64
+	if mid < hl {
+		midCarry = 1
+	}
+
+	// Assemble the 128-bit product into (hi, lo).
+	lo := ll + (mid << 32)
+	var loCarry uint64
+	if lo < ll {
+		loCarry = 1
+	}
+	hi := hh + (mid >> 32) + (midCarry << 32) + loCarry
+
+	// Reduce modulo 2^61 − 1: x mod p = (x & p) + (x >> 61) folded.
+	// 128-bit value = hi*2^64 + lo; 2^64 ≡ 2^3 (mod p).
+	part := mod61(lo) + mod61(hi*8)
+	return mod61(part)
+}

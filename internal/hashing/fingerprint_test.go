@@ -1,0 +1,128 @@
+package hashing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	h := NewHasher(12345)
+	words := []uint64{1, 2, 3, ^uint64(0)}
+	if h.Sum(words) != h.Sum(words) {
+		t.Fatal("hash not deterministic")
+	}
+	h2 := NewHasher(12345)
+	if h.Sum(words) != h2.Sum(words) {
+		t.Fatal("equal seeds disagree")
+	}
+}
+
+func TestLengthBinding(t *testing.T) {
+	h := NewHasher(7)
+	a := []uint64{5, 0}
+	b := []uint64{5}
+	if h.Sum(a) == h.Sum(b) {
+		t.Fatal("trailing zero word collides with shorter input")
+	}
+	if h.Sum(nil) == h.Sum([]uint64{0}) {
+		t.Fatal("empty vs single-zero collide")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	words := []uint64{0xdeadbeef, 42}
+	same := 0
+	for seed := uint64(1); seed <= 50; seed++ {
+		if NewHasher(seed).Sum(words) == NewHasher(seed+1).Sum(words) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/50 adjacent seeds collide — seeds not independent", same)
+	}
+}
+
+func TestCollisionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := NewHasher(rng.Uint64())
+	seen := make(map[Fingerprint][]uint64)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		words := make([]uint64, 1+rng.Intn(4))
+		for j := range words {
+			words[j] = rng.Uint64()
+		}
+		fp := h.Sum(words)
+		if prev, ok := seen[fp]; ok && !equalWords(prev, words) {
+			t.Fatalf("collision between %v and %v", prev, words)
+		}
+		seen[fp] = append([]uint64(nil), words...)
+	}
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSingleBitFlip: flipping any single bit changes the
+// fingerprint — the exact property the identity-list consensus relies on
+// (a committee member missing one announcement must be detected).
+func TestQuickSingleBitFlip(t *testing.T) {
+	prop := func(seed uint64, raw []uint64, idxRaw uint16) bool {
+		if len(raw) == 0 {
+			raw = []uint64{0}
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		h := NewHasher(seed)
+		idx := int(idxRaw) % (len(raw) * 64)
+		flipped := append([]uint64(nil), raw...)
+		flipped[idx/64] ^= 1 << uint(idx%64)
+		return h.Sum(raw) != h.Sum(flipped)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMulModAgainstBigInt cross-checks the 128-bit modular
+// multiplication against math/big.
+func TestQuickMulModAgainstBigInt(t *testing.T) {
+	p := new(big.Int).SetUint64(mersenne61)
+	prop := func(aRaw, bRaw uint64) bool {
+		a, b := mod61(aRaw), mod61(bRaw)
+		got := mulMod(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		return got == want.Uint64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModAddHelpers(t *testing.T) {
+	if mod61(mersenne61) != 0 {
+		t.Fatal("mod61(p) != 0")
+	}
+	if mod61(mersenne61+5) != 5 {
+		t.Fatal("mod61 wrap wrong")
+	}
+	if addMod(mersenne61-1, 1) != 0 {
+		t.Fatal("addMod wrap wrong")
+	}
+	if got := (Fingerprint(0)).Bits(); got != 61 {
+		t.Fatalf("Bits = %d", got)
+	}
+}

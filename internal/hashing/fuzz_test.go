@@ -1,0 +1,48 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFlipSensitivity checks, on arbitrary inputs, that flipping one bit
+// always changes the fingerprint and that hashing is deterministic.
+func FuzzFlipSensitivity(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(3))
+	f.Add(uint64(0xdead), []byte{}, uint16(0))
+	f.Add(^uint64(0), make([]byte, 64), uint16(511))
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte, idxRaw uint16) {
+		words := bytesToWords(data)
+		if len(words) == 0 {
+			words = []uint64{0}
+		}
+		if len(words) > 16 {
+			words = words[:16]
+		}
+		h := NewHasher(seed)
+		base := h.Sum(words)
+		if h.Sum(words) != base {
+			t.Fatal("not deterministic")
+		}
+		idx := int(idxRaw) % (len(words) * 64)
+		flipped := append([]uint64(nil), words...)
+		flipped[idx/64] ^= 1 << uint(idx%64)
+		if h.Sum(flipped) == base {
+			t.Fatalf("bit flip at %d not detected (seed %d)", idx, seed)
+		}
+	})
+}
+
+func bytesToWords(data []byte) []uint64 {
+	words := make([]uint64, 0, (len(data)+7)/8)
+	for len(data) >= 8 {
+		words = append(words, binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var buf [8]byte
+		copy(buf[:], data)
+		words = append(words, binary.LittleEndian.Uint64(buf[:]))
+	}
+	return words
+}

@@ -1,0 +1,23 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"renaming/internal/interval"
+)
+
+// Example walks the halving tree the crash algorithm descends: the root
+// [1,n] splits into bot/top until every interval is a unit holding one
+// new identity.
+func Example() {
+	iv := interval.Full(10)
+	fmt.Println(iv, "size", iv.Size())
+	fmt.Println(iv.Bot(), iv.Top())
+	leaf := iv.Bot().Top().Bot() // [1,5] → [4,5] → [4,4]
+	depth, _ := leaf.Depth(iv)
+	fmt.Println(leaf, "unit:", leaf.Unit(), "depth:", depth)
+	// Output:
+	// [1,10] size 10
+	// [1,5] [6,10]
+	// [4,4] unit: true depth: 3
+}

@@ -1,0 +1,296 @@
+// Package plot renders the experiment harness's sweep results as static
+// SVG line charts — the "figures" of the reproduction. The visual rules
+// follow the repository's data-viz conventions: a single y-axis, thin
+// 2px lines with ≥8px markers, a recessive grid, categorical colors in a
+// fixed validated order (worst adjacent CVD ΔE 73.6 on the light
+// surface; the aqua slot sits below 3:1 contrast so every series is also
+// direct-labeled), and all text in text tokens rather than series colors.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Chart is a single-axis line chart, optionally log-scaled.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// Validated categorical slots (fixed order, never cycled) and text/surface
+// tokens from the reference palette.
+var (
+	seriesColors = []string{"#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948"}
+
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e8e8e6"
+	axisColor     = "#d0cfcc"
+)
+
+// Geometry constants.
+const (
+	width   = 760
+	height  = 440
+	marginL = 78
+	marginR = 170
+	marginT = 52
+	marginB = 56
+)
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	if len(c.Series) > len(seriesColors) {
+		return fmt.Errorf("plot: %d series exceed the %d categorical slots — fold into fewer series",
+			len(c.Series), len(seriesColors))
+	}
+	xMin, xMax, yMin, yMax, err := c.extent()
+	if err != nil {
+		return err
+	}
+	xt := ticks(xMin, xMax, c.LogX)
+	yt := ticks(yMin, yMax, c.LogY)
+	if len(xt) > 0 {
+		xMin, xMax = math.Min(xMin, xt[0]), math.Max(xMax, xt[len(xt)-1])
+	}
+	if len(yt) > 0 {
+		yMin, yMax = math.Min(yMin, yt[0]), math.Max(yMax, yt[len(yt)-1])
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, surface)
+	fmt.Fprintf(&b, `<text x="%d" y="28" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginL, textPrimary, escape(c.Title))
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	sx := func(x float64) float64 {
+		return marginL + float64(plotW)*frac(x, xMin, xMax, c.LogX)
+	}
+	sy := func(y float64) float64 {
+		return float64(marginT+plotH) - float64(plotH)*frac(y, yMin, yMax, c.LogY)
+	}
+
+	// Recessive grid + y ticks.
+	for _, v := range yt {
+		y := sy(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginL, y, marginL+plotW, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+4, textSecondary, tickLabel(v))
+	}
+	// x ticks.
+	for _, v := range xt {
+		x := sx(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+5, axisColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+19, textSecondary, tickLabel(v))
+	}
+	// Axis lines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, axisColor)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH, axisColor)
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-14, textSecondary, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		marginT+plotH/2, textSecondary, marginT+plotH/2, escape(c.YLabel))
+
+	// Series: 2px lines, 8px markers, direct end labels in text ink.
+	// Label rows are nudged apart when series end at (nearly) the same
+	// point, so coinciding lines stay readable.
+	labelYs := make([]float64, 0, len(c.Series))
+	for si, s := range c.Series {
+		color := seriesColors[si]
+		var points []string
+		for i := range s.Xs {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", sx(s.Xs[i]), sy(s.Ys[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
+			strings.Join(points, " "), color)
+		for i := range s.Xs {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+				sx(s.Xs[i]), sy(s.Ys[i]), color, surface)
+		}
+		// Direct label at the last point (relief rule for low-contrast slots).
+		lastX, lastY := sx(s.Xs[len(s.Xs)-1]), sy(s.Ys[len(s.Ys)-1])
+		labelY := lastY
+		for collides(labelY, labelYs) {
+			labelY += 14
+		}
+		labelYs = append(labelYs, labelY)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", lastX+10, labelY, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
+			lastX+18, labelY+4, textPrimary, escape(s.Name))
+	}
+
+	// Legend (always present for ≥2 series; a single series is named by
+	// its direct label and the title).
+	if len(c.Series) >= 2 {
+		lx, ly := marginL+plotW+14, marginT+6
+		for si, s := range c.Series {
+			y := ly + si*20
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`+"\n", lx, y, seriesColors[si])
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n",
+				lx+10, y+4, textPrimary, escape(s.Name))
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// collides reports whether y lands within one label height of any
+// already-placed label.
+func collides(y float64, placed []float64) bool {
+	for _, p := range placed {
+		if math.Abs(y-p) < 13 {
+			return true
+		}
+	}
+	return false
+}
+
+// extent computes the data bounds, validating log-scale positivity.
+func (c Chart) extent() (xMin, xMax, yMin, yMax float64, err error) {
+	first := true
+	for _, s := range c.Series {
+		if len(s.Xs) != len(s.Ys) || len(s.Xs) == 0 {
+			return 0, 0, 0, 0, fmt.Errorf("plot: series %q has %d xs and %d ys", s.Name, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if (c.LogX && x <= 0) || (c.LogY && y <= 0) {
+				return 0, 0, 0, 0, fmt.Errorf("plot: series %q has non-positive value on a log axis", s.Name)
+			}
+			if first {
+				xMin, xMax, yMin, yMax = x, x, y, y
+				first = false
+				continue
+			}
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if !c.LogY && yMin > 0 {
+		yMin = 0 // bars-at-zero instinct: anchor linear magnitude axes at 0
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	return xMin, xMax, yMin, yMax, nil
+}
+
+// frac maps v into [0,1] within [lo,hi], linearly or logarithmically.
+func frac(v, lo, hi float64, log bool) float64 {
+	if log {
+		return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// ticks produces 4–8 "nice" tick values spanning [lo, hi].
+func ticks(lo, hi float64, log bool) []float64 {
+	if log {
+		var out []float64
+		for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+			out = append(out, math.Pow(10, e))
+		}
+		return out
+	}
+	span := niceNum(hi-lo, false)
+	step := niceNum(span/5, true)
+	start := math.Floor(lo/step) * step
+	end := math.Ceil(hi/step) * step
+	var out []float64
+	for v := start; v <= end+step/2; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// niceNum rounds x to a "nice" value (1, 2, or 5 times a power of 10).
+func niceNum(x float64, round bool) float64 {
+	exp := math.Floor(math.Log10(x))
+	f := x / math.Pow(10, exp)
+	var nf float64
+	if round {
+		switch {
+		case f < 1.5:
+			nf = 1
+		case f < 3:
+			nf = 2
+		case f < 7:
+			nf = 5
+		default:
+			nf = 10
+		}
+	} else {
+		switch {
+		case f <= 1:
+			nf = 1
+		case f <= 2:
+			nf = 2
+		case f <= 5:
+			nf = 5
+		default:
+			nf = 10
+		}
+	}
+	return nf * math.Pow(10, exp)
+}
+
+// tickLabel formats a tick value compactly (1.2M, 64k, 0.5).
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return trimZero(v/1e9) + "G"
+	case av >= 1e6:
+		return trimZero(v/1e6) + "M"
+	case av >= 1e3:
+		return trimZero(v/1e3) + "k"
+	case av == 0:
+		return "0"
+	case av < 1:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return trimZero(v)
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title: "messages vs n", XLabel: "n", YLabel: "messages",
+		LogX: true, LogY: true,
+		Series: []Series{
+			{Name: "ours", Xs: []float64{128, 256, 512}, Ys: []float64{1e5, 2e5, 8e5}},
+			{Name: "baseline", Xs: []float64{128, 256, 512}, Ys: []float64{1.4e5, 6e5, 2.8e6}},
+		},
+	}
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	var b strings.Builder
+	if err := demoChart().WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "messages vs n",
+		"polyline", "#2a78d6", "#1baf7a", // fixed categorical slot order
+		">ours<", ">baseline<", // direct labels + legend
+		"stroke-width=\"2\"", // thin lines
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Exactly one y-axis: rotated label occurs once.
+	if got := strings.Count(svg, "rotate(-90"); got != 1 {
+		t.Fatalf("rotated y labels = %d, want 1", got)
+	}
+	// Direct label + legend for 2 series: each name appears twice.
+	if got := strings.Count(svg, ">ours<"); got != 2 {
+		t.Fatalf("ours labels = %d, want 2 (direct + legend)", got)
+	}
+}
+
+func TestWriteSVGSingleSeriesNoLegend(t *testing.T) {
+	c := Chart{Title: "t", Series: []Series{{Name: "only", Xs: []float64{1, 2}, Ys: []float64{3, 4}}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// One series: direct label only, no legend duplicate.
+	if got := strings.Count(b.String(), ">only<"); got != 1 {
+		t.Fatalf("labels = %d, want 1", got)
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (Chart{}).WriteSVG(&b); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := Chart{LogY: true, Series: []Series{{Name: "x", Xs: []float64{1}, Ys: []float64{0}}}}
+	if err := bad.WriteSVG(&b); err == nil {
+		t.Fatal("non-positive log value accepted")
+	}
+	mismatch := Chart{Series: []Series{{Name: "x", Xs: []float64{1, 2}, Ys: []float64{1}}}}
+	if err := mismatch.WriteSVG(&b); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	many := Chart{Series: make([]Series, 7)}
+	for i := range many.Series {
+		many.Series[i] = Series{Name: "s", Xs: []float64{1}, Ys: []float64{1}}
+	}
+	if err := many.WriteSVG(&b); err == nil {
+		t.Fatal("7 series accepted beyond the 6 slots")
+	}
+}
+
+func TestTicksLinear(t *testing.T) {
+	out := ticks(0, 97, false)
+	if len(out) < 4 || len(out) > 9 {
+		t.Fatalf("tick count %d: %v", len(out), out)
+	}
+	if out[0] > 0 || out[len(out)-1] < 97 {
+		t.Fatalf("ticks do not span the data: %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("ticks not increasing: %v", out)
+		}
+	}
+}
+
+func TestTicksLog(t *testing.T) {
+	out := ticks(130, 54000, true)
+	want := []float64{100, 1000, 10000, 100000}
+	if len(out) != len(want) {
+		t.Fatalf("log ticks %v", out)
+	}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-9 {
+			t.Fatalf("log ticks %v", out)
+		}
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 5: "5", 1500: "1.5k", 64000: "64k",
+		2_500_000: "2.5M", 3e9: "3G", 0.25: "0.25",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNiceNum(t *testing.T) {
+	if niceNum(97, false) != 100 || niceNum(0.23, true) != 0.2 {
+		t.Fatalf("niceNum wrong: %v %v", niceNum(97, false), niceNum(0.23, true))
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", got)
+	}
+}

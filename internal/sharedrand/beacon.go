@@ -1,0 +1,67 @@
+// Package sharedrand models the shared random bits the Byzantine-resilient
+// algorithm assumes (Section 3): every correct node, given the same beacon
+// seed, derives the identical committee candidate pool over the original
+// namespace [N] and the identical per-iteration hash seeds. Byzantine
+// nodes see the same bits — shared randomness is public — which the
+// algorithm's analysis already accounts for (the adversary is static, so
+// it cannot corrupt nodes after seeing the pool).
+package sharedrand
+
+import (
+	"math/rand"
+	"sort"
+
+	"renaming/internal/sim"
+)
+
+// Beacon deterministically expands one seed into the shared random
+// objects the algorithm consumes.
+type Beacon struct {
+	seed int64
+}
+
+// NewBeacon returns a beacon for the given shared seed.
+func NewBeacon(seed int64) *Beacon { return &Beacon{seed: seed} }
+
+const (
+	labelPool      = 0x706f6f6c // "pool"
+	labelHashSeeds = 0x68617368 // "hash"
+)
+
+// CandidatePool returns the sorted identities of [N] that joined the
+// committee candidate pool, each independently with probability p. All
+// correct nodes call this with identical arguments and obtain the
+// identical pool.
+func (b *Beacon) CandidatePool(bigN int, p float64) []int {
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(b.seed, labelPool)))
+	if p >= 1 {
+		pool := make([]int, bigN)
+		for i := range pool {
+			pool[i] = i + 1
+		}
+		return pool
+	}
+	if p <= 0 {
+		return nil
+	}
+	var pool []int
+	for id := 1; id <= bigN; id++ {
+		if rng.Float64() < p {
+			pool = append(pool, id)
+		}
+	}
+	sort.Ints(pool)
+	return pool
+}
+
+// HashSeed returns the shared 64-bit hash seed for divide-and-conquer
+// iteration iter over segment [lo, hi]. Using the segment coordinates in
+// the label lets all correct members hash the same segment with the same
+// function while different segments get independent functions.
+func (b *Beacon) HashSeed(iter, lo, hi int) uint64 {
+	label := uint64(labelHashSeeds)
+	label = sim.SplitMix64(label ^ uint64(iter))
+	label = sim.SplitMix64(label ^ uint64(lo))
+	label = sim.SplitMix64(label ^ uint64(hi))
+	return uint64(sim.DeriveSeed(b.seed, label))
+}

@@ -1,0 +1,78 @@
+package sharedrand
+
+import "testing"
+
+func TestPoolDeterministic(t *testing.T) {
+	a := NewBeacon(42).CandidatePool(1000, 0.1)
+	b := NewBeacon(42).CandidatePool(1000, 0.1)
+	if len(a) != len(b) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pools diverge at %d", i)
+		}
+	}
+}
+
+func TestPoolSeedsDiffer(t *testing.T) {
+	a := NewBeacon(1).CandidatePool(1000, 0.1)
+	b := NewBeacon(2).CandidatePool(1000, 0.1)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different beacon seeds produced identical pools")
+	}
+}
+
+func TestPoolEdgeProbabilities(t *testing.T) {
+	if got := NewBeacon(3).CandidatePool(50, 0); got != nil {
+		t.Fatalf("p=0 pool = %v", got)
+	}
+	full := NewBeacon(3).CandidatePool(50, 1)
+	if len(full) != 50 || full[0] != 1 || full[49] != 50 {
+		t.Fatalf("p=1 pool = %v", full)
+	}
+}
+
+func TestPoolSortedInRangeAndSized(t *testing.T) {
+	pool := NewBeacon(9).CandidatePool(10000, 0.05)
+	for i, id := range pool {
+		if id < 1 || id > 10000 {
+			t.Fatalf("id %d out of range", id)
+		}
+		if i > 0 && pool[i-1] >= id {
+			t.Fatal("pool not strictly increasing")
+		}
+	}
+	// Binomial(10000, 0.05): expect ~500, allow wide slack.
+	if len(pool) < 350 || len(pool) > 650 {
+		t.Fatalf("pool size %d implausible for p=0.05", len(pool))
+	}
+}
+
+func TestHashSeedsDistinct(t *testing.T) {
+	b := NewBeacon(7)
+	seen := make(map[uint64]bool)
+	for iter := 0; iter < 4; iter++ {
+		for lo := 1; lo <= 8; lo++ {
+			for hi := lo; hi <= 8; hi++ {
+				s := b.HashSeed(iter, lo, hi)
+				if seen[s] {
+					t.Fatalf("seed collision at (%d,%d,%d)", iter, lo, hi)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if b.HashSeed(0, 1, 8) != NewBeacon(7).HashSeed(0, 1, 8) {
+		t.Fatal("hash seed not deterministic")
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// BenchmarkRound measures the simulator's per-round cost at an all-to-all
+// communication load — the framework overhead underneath every
+// experiment.
+func BenchmarkRound(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(nName(n), func(b *testing.B) {
+			nodes := make([]Node, n)
+			for i := range nodes {
+				nodes[i] = &chatterNode{idx: i, n: n}
+			}
+			nw := NewNetwork(nodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.StepRound()
+			}
+			b.ReportMetric(float64(nw.Metrics().Messages)/float64(b.N), "msgs/round")
+		})
+	}
+}
+
+func nName(n int) string {
+	if n == 64 {
+		return "n=64"
+	}
+	return "n=256"
+}
+
+// chatterNode broadcasts every round forever.
+type chatterNode struct{ idx, n int }
+
+func (c *chatterNode) Step(round int, inbox []Message) Outbox {
+	return Broadcast(c.idx, c.n, pingPayload{size: 32})
+}
+func (c *chatterNode) Output() (int, bool) { return 0, false }
+func (c *chatterNode) Halted() bool        { return false }

@@ -1,0 +1,59 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"renaming/internal/sim"
+)
+
+// maxNode is a three-line protocol: broadcast your value once, then
+// output the maximum value heard. It shows the substrate's shape — a
+// Step function fed last round's inbox, a Halted predicate, and metrics
+// for free.
+type maxNode struct {
+	idx, n, val int
+	out         int
+	done        bool
+}
+
+type valPayload struct{ v int }
+
+func (valPayload) Kind() string { return "val" }
+func (valPayload) Bits() int    { return 8 }
+
+func (m *maxNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if round == 0 {
+		return sim.Broadcast(m.idx, m.n, valPayload{v: m.val})
+	}
+	for _, msg := range inbox {
+		if p, ok := msg.Payload.(valPayload); ok && p.v > m.out {
+			m.out = p.v
+		}
+	}
+	m.done = true
+	return nil
+}
+func (m *maxNode) Output() (int, bool) { return m.out, m.done }
+func (m *maxNode) Halted() bool        { return m.done }
+
+// Example runs the one-shot maximum protocol on the simulator.
+func Example() {
+	vals := []int{4, 17, 9}
+	nodes := make([]sim.Node, len(vals))
+	maxes := make([]*maxNode, len(vals))
+	for i, v := range vals {
+		maxes[i] = &maxNode{idx: i, n: len(vals), val: v}
+		nodes[i] = maxes[i]
+	}
+	nw := sim.NewNetwork(nodes)
+	if err := nw.Run(10); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, _ := maxes[0].Output()
+	fmt.Println("max:", out)
+	fmt.Println("messages:", nw.Metrics().Messages)
+	// Output:
+	// max: 17
+	// messages: 9
+}

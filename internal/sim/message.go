@@ -1,0 +1,49 @@
+package sim
+
+// Payload is the algorithm-specific content of a message. Implementations
+// report their encoded size in bits so the simulator can account bit
+// complexity honestly: an identifier from the original namespace [N] costs
+// ceil(log2 N) bits, an interval endpoint in [n] costs ceil(log2 n) bits,
+// and so on.
+type Payload interface {
+	// Kind returns a short stable name for the message type, used for
+	// per-kind metric breakdowns.
+	Kind() string
+	// Bits returns the encoded payload size in bits.
+	Bits() int
+}
+
+// Message is a single point-to-point message in the synchronous network.
+// The From field is stamped by the network itself, which models message
+// authentication: a Byzantine node cannot spoof another node's identity.
+type Message struct {
+	// From is the link index of the sender, stamped by the network.
+	From int
+	// To is the link index of the recipient.
+	To int
+	// Payload is the message content.
+	Payload Payload
+}
+
+// Outbox is the set of messages a node emits in one round.
+type Outbox []Message
+
+// Broadcast appends one message carrying p to every link in [0, n), the
+// paper's "send via n links" primitive (this includes the sender's own
+// link, as in the paper's complete-network model).
+func Broadcast(from, n int, p Payload) Outbox {
+	out := make(Outbox, 0, n)
+	for to := 0; to < n; to++ {
+		out = append(out, Message{From: from, To: to, Payload: p})
+	}
+	return out
+}
+
+// Multicast appends one message carrying p to each listed recipient.
+func Multicast(from int, to []int, p Payload) Outbox {
+	out := make(Outbox, 0, len(to))
+	for _, t := range to {
+		out = append(out, Message{From: from, To: t, Payload: p})
+	}
+	return out
+}

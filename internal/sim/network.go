@@ -1,0 +1,291 @@
+// Package sim implements the synchronous message-passing substrate the
+// paper's algorithms run on: a fully connected network of n nodes that
+// exchange messages in lockstep rounds, an adaptive crash adversary that
+// can kill nodes even mid-send, and metrics that account messages, bits,
+// and rounds exactly as the paper's complexity statements do.
+//
+// Within a round all alive nodes step concurrently (one goroutine each)
+// behind a barrier; determinism is preserved because each node only
+// touches its own state and every inbox is sorted by sender before
+// delivery.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrRoundLimit is returned by Network.Run when the round budget is
+// exhausted before every alive node halted.
+var ErrRoundLimit = errors.New("sim: round limit exceeded before all nodes halted")
+
+// Network drives a set of nodes through synchronous rounds.
+type Network struct {
+	nodes   []Node
+	alive   []bool
+	adv     CrashAdversary
+	metrics *Metrics
+	inboxes [][]Message
+	peek    func(node int) any
+
+	// crashed remembers the round each node crashed in, -1 if alive.
+	crashedAt []int
+	byzantine []bool
+	rushing   []bool
+	round     int
+	observer  func(round int, delivered []Message)
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithCrashAdversary installs the adaptive crash adversary consulted at
+// the start of every round.
+func WithCrashAdversary(adv CrashAdversary) Option {
+	return func(nw *Network) { nw.adv = adv }
+}
+
+// WithByzantine marks the given link indices as Byzantine so metrics can
+// separate honest traffic (the algorithm's cost) from adversarial noise.
+func WithByzantine(links []int) Option {
+	return func(nw *Network) {
+		for _, i := range links {
+			if i >= 0 && i < len(nw.byzantine) {
+				nw.byzantine[i] = true
+			}
+		}
+	}
+}
+
+// WithPeek installs a state exporter that the adversary's View.Peek
+// forwards to, giving adaptive adversaries visibility into node state.
+func WithPeek(peek func(node int) any) Option {
+	return func(nw *Network) { nw.peek = peek }
+}
+
+// WithRushing marks links as *rushing* adversaries: each round they step
+// after every other node and their inbox additionally contains a preview
+// of the messages honest nodes addressed to them in the *current* round —
+// the standard synchronous-model power of a Byzantine node that waits for
+// everyone else before speaking. Rushing nodes do not preview each other.
+func WithRushing(links []int) Option {
+	return func(nw *Network) {
+		for _, i := range links {
+			if i >= 0 && i < len(nw.rushing) {
+				nw.rushing[i] = true
+			}
+		}
+	}
+}
+
+// WithCongestLimit installs a CONGEST-model bit budget: honest messages
+// larger than bits are counted in Metrics.OversizeMessages (they are
+// still delivered — the simulator reports violations rather than
+// truncating protocol state).
+func WithCongestLimit(bits int) Option {
+	return func(nw *Network) { nw.metrics.CongestLimit = bits }
+}
+
+// WithObserver installs a per-round callback invoked with the messages
+// that were put on the wire this round (post crash filtering), for
+// tracing and debugging. The slice must not be retained.
+func WithObserver(observer func(round int, delivered []Message)) Option {
+	return func(nw *Network) { nw.observer = observer }
+}
+
+// NewNetwork creates a network over the given nodes. Node i is reachable
+// on link i from every node, matching the paper's complete-network model.
+func NewNetwork(nodes []Node, opts ...Option) *Network {
+	n := len(nodes)
+	nw := &Network{
+		nodes:     nodes,
+		alive:     make([]bool, n),
+		adv:       NoCrashes{},
+		metrics:   NewMetrics(),
+		inboxes:   make([][]Message, n),
+		crashedAt: make([]int, n),
+		byzantine: make([]bool, n),
+		rushing:   make([]bool, n),
+	}
+	for i := range nw.alive {
+		nw.alive[i] = true
+		nw.crashedAt[i] = -1
+	}
+	nw.metrics.sizeFor(n)
+	for _, opt := range opts {
+		opt(nw)
+	}
+	return nw
+}
+
+// Metrics exposes the accumulated communication metrics.
+func (nw *Network) Metrics() *Metrics { return nw.metrics }
+
+// Alive reports whether node i is alive.
+func (nw *Network) Alive(i int) bool { return nw.alive[i] }
+
+// AliveCount returns the number of alive nodes.
+func (nw *Network) AliveCount() int {
+	count := 0
+	for _, a := range nw.alive {
+		if a {
+			count++
+		}
+	}
+	return count
+}
+
+// Crashes returns the number of nodes crashed so far — the paper's f, the
+// *actual* number of failures during execution.
+func (nw *Network) Crashes() int { return len(nw.alive) - nw.AliveCount() }
+
+// CrashedAt returns the round node i crashed in, or -1 if it is alive.
+func (nw *Network) CrashedAt(i int) int { return nw.crashedAt[i] }
+
+// Round returns the number of rounds executed so far.
+func (nw *Network) Round() int { return nw.round }
+
+// StepRound executes exactly one synchronous round:
+//
+//  1. the adversary may crash nodes (optionally mid-send),
+//  2. every alive node receives its inbox (messages sent last round,
+//     sorted by sender) and produces an outbox, all nodes in parallel,
+//  3. outboxes are filtered for mid-send crashes, counted, and queued
+//     for delivery at the start of the next round.
+func (nw *Network) StepRound() {
+	n := len(nw.nodes)
+	view := View{Round: nw.round, Alive: nw.cloneAlive(), Inboxes: nw.inboxes, Peek: nw.peek}
+	filters := make(map[int]SendFilter)
+	for _, order := range nw.adv.Crashes(view) {
+		if order.Node < 0 || order.Node >= n || !nw.alive[order.Node] {
+			continue
+		}
+		nw.alive[order.Node] = false
+		nw.crashedAt[order.Node] = nw.round
+		if order.Filter != nil {
+			filters[order.Node] = order.Filter
+		}
+	}
+
+	// Select the nodes that execute this round: all alive nodes, plus
+	// mid-send crashers (whose output will be filtered).
+	stepping := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if nw.alive[i] {
+			stepping = append(stepping, i)
+			continue
+		}
+		if _, midSend := filters[i]; midSend && nw.crashedAt[i] == nw.round {
+			stepping = append(stepping, i)
+		}
+	}
+
+	// Wave 1: every non-rushing node steps concurrently.
+	outs := make([]Outbox, n)
+	var wg sync.WaitGroup
+	var rushers []int
+	for _, i := range stepping {
+		if nw.rushing[i] {
+			rushers = append(rushers, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = nw.nodes[i].Step(nw.round, nw.inboxes[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// Wave 2: rushing nodes step with a preview of this round's honest
+	// messages addressed to them appended to their inbox.
+	if len(rushers) > 0 {
+		previews := make(map[int][]Message)
+		for _, i := range stepping {
+			if nw.rushing[i] {
+				continue
+			}
+			filter := filters[i]
+			for _, msg := range outs[i] {
+				if msg.To < 0 || msg.To >= n || !nw.rushing[msg.To] {
+					continue
+				}
+				if filter != nil && !filter(msg.To) {
+					continue
+				}
+				msg.From = i
+				previews[msg.To] = append(previews[msg.To], msg)
+			}
+		}
+		for _, i := range rushers {
+			preview := previews[i]
+			sort.SliceStable(preview, func(a, b int) bool { return preview[a].From < preview[b].From })
+			inbox := append(append([]Message(nil), nw.inboxes[i]...), preview...)
+			outs[i] = nw.nodes[i].Step(nw.round, inbox)
+		}
+	}
+
+	next := make([][]Message, n)
+	for _, i := range stepping {
+		filter := filters[i]
+		for _, msg := range outs[i] {
+			if msg.To < 0 || msg.To >= n {
+				panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
+			}
+			if filter != nil && !filter(msg.To) {
+				// Crashed mid-send: this message was never put on
+				// the wire, so it costs nothing and arrives nowhere.
+				continue
+			}
+			// Stamp the true sender: authenticated channels.
+			msg.From = i
+			nw.metrics.record(msg, !nw.byzantine[i])
+			next[msg.To] = append(next[msg.To], msg)
+		}
+	}
+	for i := range next {
+		sort.SliceStable(next[i], func(a, b int) bool { return next[i][a].From < next[i][b].From })
+	}
+	if nw.observer != nil {
+		var delivered []Message
+		for i := range next {
+			delivered = append(delivered, next[i]...)
+		}
+		nw.observer(nw.round, delivered)
+	}
+	nw.inboxes = next
+	nw.round++
+	nw.metrics.Rounds = nw.round
+}
+
+// Run executes rounds until every alive node reports Halted, or until
+// maxRounds have executed, in which case it returns ErrRoundLimit.
+func (nw *Network) Run(maxRounds int) error {
+	for nw.round < maxRounds {
+		if nw.allHalted() {
+			return nil
+		}
+		nw.StepRound()
+	}
+	if nw.allHalted() {
+		return nil
+	}
+	return ErrRoundLimit
+}
+
+func (nw *Network) allHalted() bool {
+	for i, node := range nw.nodes {
+		if nw.alive[i] && !node.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+func (nw *Network) cloneAlive() []bool {
+	alive := make([]bool, len(nw.alive))
+	copy(alive, nw.alive)
+	return alive
+}

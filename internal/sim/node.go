@@ -1,0 +1,24 @@
+package sim
+
+// Node is a participant in the synchronous message-passing network.
+//
+// The execution model matches Section 1 of the paper: all nodes are
+// activated simultaneously and proceed in lockstep rounds. In round r a
+// node first receives every message that was sent to it in round r-1
+// (its inbox), then sends its own messages for round r. The network calls
+// Step once per round with the inbox sorted by sender link; Step must only
+// touch the node's own state, because all alive nodes step concurrently.
+type Node interface {
+	// Step executes one synchronous round and returns the messages the
+	// node sends this round. round counts from 0.
+	Step(round int, inbox []Message) Outbox
+
+	// Output returns the node's decided new identity. ok is false while
+	// the node is still undecided. A decided node may keep participating
+	// (e.g. committee members keep serving other nodes after deciding).
+	Output() (id int, ok bool)
+
+	// Halted reports that the node will never send another message, so
+	// the network can stop early once every alive node has halted.
+	Halted() bool
+}

@@ -1,0 +1,30 @@
+package sim
+
+import "math/rand"
+
+// SplitMix64 advances the SplitMix64 generator state once and returns the
+// next output. It is used to derive statistically independent sub-seeds
+// (per-node PRNGs, adversary PRNG, shared-randomness beacon) from a single
+// run seed so that an entire execution is reproducible from one integer.
+func SplitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically mixes a run seed with a stream label. Distinct
+// labels yield independent-looking streams for the same run seed.
+func DeriveSeed(seed int64, label uint64) int64 {
+	mixed := SplitMix64(uint64(seed) ^ SplitMix64(label))
+	return int64(mixed)
+}
+
+// NewRand returns a deterministic PRNG for the given run seed and stream
+// label. Every stochastic component of an execution draws from its own
+// labelled stream, so adding randomness to one component never perturbs
+// another.
+func NewRand(seed int64, label uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, label)))
+}

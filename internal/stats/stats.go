@@ -1,0 +1,146 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to turn raw sweep measurements into the quantities the
+// paper's asymptotic claims are about: least-squares fits on log-log
+// scales (empirical growth exponents), summary statistics, and simple
+// confidence heuristics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrTooFewPoints is returned when a fit needs more data.
+var ErrTooFewPoints = errors.New("stats: need at least two points")
+
+// Fit is a least-squares line y = Slope·x + Intercept with goodness R².
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y = a·x + b by ordinary least squares.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return Fit{}, ErrTooFewPoints
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, errors.New("stats: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// PowerLawExponent fits y = c·x^α on positive data by regressing
+// log y on log x and returns α (the empirical growth exponent) with R².
+// A sweep of message counts against n with α ≈ 1 is quasi-linear growth,
+// α ≈ 2 quadratic — exactly the separation E3n/E5n demonstrate.
+func PowerLawExponent(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: length mismatch")
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	return LinearFit(lx, ly)
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		s.Stddev += (x - s.Mean) * (x - s.Mean)
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(s.Stddev / float64(len(xs)-1))
+	} else {
+		s.Stddev = 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// GeometricMeanRatio returns the geometric mean of ys[i]/xs[i] — a
+// robust "constant factor" estimate for bounded-ratio claims like
+// messages / model.
+func GeometricMeanRatio(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	count := 0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		sum += math.Log(ys[i] / xs[i])
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(count))
+}

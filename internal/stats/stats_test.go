@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-3) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Fatalf("R² = %f", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("expected degenerate error")
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	var xs, ys []float64
+	for _, n := range []float64{64, 128, 256, 512, 1024} {
+		xs = append(xs, n)
+		ys = append(ys, 7*n*n) // quadratic
+	}
+	fit, err := PowerLawExponent(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-6 {
+		t.Fatalf("exponent = %f, want 2", fit.Slope)
+	}
+	// Zero/negative points are skipped, not fatal.
+	fit, err = PowerLawExponent([]float64{0, 2, 4, 8}, []float64{1, 10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1) > 1e-6 {
+		t.Fatalf("exponent = %f, want 1", fit.Slope)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	odd := Summarize([]float64{9, 1, 5})
+	if odd.Median != 5 {
+		t.Fatalf("median = %f", odd.Median)
+	}
+	if got := Summarize(nil); got.Count != 0 {
+		t.Fatalf("empty = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Stddev != 0 {
+		t.Fatalf("single-point stddev = %f", one.Stddev)
+	}
+}
+
+func TestGeometricMeanRatio(t *testing.T) {
+	got := GeometricMeanRatio([]float64{1, 2, 4}, []float64{3, 6, 12})
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("ratio = %f", got)
+	}
+	if !math.IsNaN(GeometricMeanRatio(nil, nil)) {
+		t.Fatal("empty input should be NaN")
+	}
+	if !math.IsNaN(GeometricMeanRatio([]float64{0}, []float64{0})) {
+		t.Fatal("all-nonpositive input should be NaN")
+	}
+}
+
+// TestQuickFitRecoversLine: LinearFit recovers arbitrary lines exactly on
+// noise-free data.
+func TestQuickFitRecoversLine(t *testing.T) {
+	prop := func(slopeRaw, interceptRaw int16) bool {
+		slope := float64(slopeRaw) / 64
+		intercept := float64(interceptRaw) / 64
+		xs := []float64{-3, -1, 0, 2, 5, 11}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + intercept
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-slope) < 1e-6 && math.Abs(fit.Intercept-intercept) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

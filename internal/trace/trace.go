@@ -1,0 +1,143 @@
+// Package trace records per-round communication summaries of an
+// execution, for debugging protocol schedules and for the examples'
+// narrative output. Install a Recorder through sim.WithObserver.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"renaming/internal/sim"
+)
+
+// RoundSummary aggregates one round's delivered traffic.
+type RoundSummary struct {
+	Round    int
+	Messages int
+	Bits     int
+	ByKind   map[string]int
+}
+
+// Recorder accumulates round summaries.
+type Recorder struct {
+	rounds []RoundSummary
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe is the sim.WithObserver callback.
+func (r *Recorder) Observe(round int, delivered []sim.Message) {
+	summary := RoundSummary{Round: round, ByKind: make(map[string]int)}
+	for _, msg := range delivered {
+		summary.Messages++
+		summary.Bits += msg.Payload.Bits()
+		summary.ByKind[msg.Payload.Kind()]++
+	}
+	r.rounds = append(r.rounds, summary)
+}
+
+// Rounds returns the recorded summaries in round order.
+func (r *Recorder) Rounds() []RoundSummary {
+	out := make([]RoundSummary, len(r.rounds))
+	copy(out, r.rounds)
+	return out
+}
+
+// BusiestRound returns the round with the most messages, or ok=false when
+// nothing was recorded.
+func (r *Recorder) BusiestRound() (RoundSummary, bool) {
+	if len(r.rounds) == 0 {
+		return RoundSummary{}, false
+	}
+	best := r.rounds[0]
+	for _, s := range r.rounds[1:] {
+		if s.Messages > best.Messages {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// WriteTimeline renders a compact per-round table to w, eliding quiet
+// stretches of identical traffic shape.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	var lastShape string
+	elided := 0
+	flush := func() error {
+		if elided > 0 {
+			if _, err := fmt.Fprintf(w, "  … %d more rounds with the same shape\n", elided); err != nil {
+				return err
+			}
+			elided = 0
+		}
+		return nil
+	}
+	for _, s := range r.rounds {
+		shape := shapeOf(s)
+		if shape == lastShape {
+			elided++
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		lastShape = shape
+		if _, err := fmt.Fprintf(w, "round %4d: %6d msgs %8d bits  %s\n",
+			s.Round, s.Messages, s.Bits, shape); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+func shapeOf(s RoundSummary) string {
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, s.ByKind[k]))
+	}
+	if len(parts) == 0 {
+		return "(quiet)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteCSV dumps the per-round summaries as CSV (round, messages, bits,
+// then one column per payload kind seen anywhere in the trace) for
+// external plotting.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	kindSet := make(map[string]bool)
+	for _, s := range r.rounds {
+		for k := range s.ByKind {
+			kindSet[k] = true
+		}
+	}
+	kinds := make([]string, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	header := append([]string{"round", "messages", "bits"}, kinds...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, s := range r.rounds {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprint(s.Round), fmt.Sprint(s.Messages), fmt.Sprint(s.Bits))
+		for _, k := range kinds {
+			row = append(row, fmt.Sprint(s.ByKind[k]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

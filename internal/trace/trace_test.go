@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"renaming/internal/sim"
+)
+
+type tp struct{ kind string }
+
+func (p tp) Kind() string { return p.kind }
+func (tp) Bits() int      { return 4 }
+
+func msgs(kinds ...string) []sim.Message {
+	out := make([]sim.Message, len(kinds))
+	for i, k := range kinds {
+		out[i] = sim.Message{Payload: tp{kind: k}}
+	}
+	return out
+}
+
+func TestRecorderSummaries(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(0, msgs("a", "a", "b"))
+	r.Observe(1, nil)
+	r.Observe(2, msgs("b"))
+	rounds := r.Rounds()
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d", len(rounds))
+	}
+	if rounds[0].Messages != 3 || rounds[0].Bits != 12 || rounds[0].ByKind["a"] != 2 {
+		t.Fatalf("round 0 = %+v", rounds[0])
+	}
+	busiest, ok := r.BusiestRound()
+	if !ok || busiest.Round != 0 {
+		t.Fatalf("busiest = %+v", busiest)
+	}
+}
+
+func TestBusiestEmpty(t *testing.T) {
+	if _, ok := NewRecorder().BusiestRound(); ok {
+		t.Fatal("empty recorder reported a busiest round")
+	}
+}
+
+func TestTimelineElidesRepeats(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(0, msgs("x"))
+	for round := 1; round < 6; round++ {
+		r.Observe(round, msgs("y", "y"))
+	}
+	r.Observe(6, nil)
+	var b strings.Builder
+	if err := r.WriteTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "x×1") || !strings.Contains(out, "y×2") {
+		t.Fatalf("timeline missing shapes:\n%s", out)
+	}
+	if !strings.Contains(out, "4 more rounds") {
+		t.Fatalf("timeline did not elide repeats:\n%s", out)
+	}
+	if !strings.Contains(out, "(quiet)") {
+		t.Fatalf("quiet round missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(0, msgs("a", "b"))
+	r.Observe(1, msgs("b"))
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "round,messages,bits,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,2,8,1,1" || lines[2] != "1,1,4,0,1" {
+		t.Fatalf("rows = %q, %q", lines[1], lines[2])
+	}
+}

@@ -1,0 +1,292 @@
+package renaming
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCrashBasic(t *testing.T) {
+	res, err := RunCrash(64, CrashSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatal("expected unique strong renaming")
+	}
+	if res.Crashes != 0 {
+		t.Fatalf("crashes = %d, want 0", res.Crashes)
+	}
+	if res.Rounds == 0 || res.Messages == 0 {
+		t.Fatalf("suspicious metrics: %+v", res)
+	}
+}
+
+func TestRunCrashWithKiller(t *testing.T) {
+	res, err := RunCrash(128, CrashSpec{
+		Seed:           7,
+		CommitteeScale: 0.05,
+		Fault:          FaultSpec{Kind: FaultCommitteeKiller, Budget: 60, MidSend: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatal("expected unique renaming despite committee killer")
+	}
+	if res.Crashes == 0 {
+		t.Fatal("killer crashed nobody — adversary wiring broken")
+	}
+}
+
+func TestRunByzantineBasic(t *testing.T) {
+	res, err := RunByzantine(24, ByzSpec{
+		Seed: 3,
+		Byzantine: map[int]Behavior{
+			2: BehaviorSplitWorld, 9: BehaviorEquivocate, 17: BehaviorSilent,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AssumptionHolds {
+		t.Skip("committee composition outside guarantee envelope for this seed")
+	}
+	if !res.Unique {
+		t.Fatal("expected unique renaming")
+	}
+	if !res.OrderPreserving {
+		t.Fatal("expected order-preserving renaming")
+	}
+	if res.Byzantine != 3 {
+		t.Fatalf("byzantine = %d", res.Byzantine)
+	}
+}
+
+func TestRunByzantineRejectsTooManyFaults(t *testing.T) {
+	byz := make(map[int]Behavior)
+	for i := 0; i < 10; i++ {
+		byz[i] = BehaviorSilent
+	}
+	if _, err := RunByzantine(12, ByzSpec{Seed: 1, Byzantine: byz}); err == nil {
+		t.Fatal("expected error for f ≥ (1/3−ε₀)n")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, kind := range []BaselineKind{BaselineAllToAllCrash, BaselineCollectSort,
+		BaselineAllToAllByzantine, BaselineConsensusBroadcast} {
+		spec := BaselineSpec{Kind: kind, Seed: 2}
+		if kind == BaselineAllToAllByzantine || kind == BaselineConsensusBroadcast {
+			spec.Byzantine = []int{4, 13}
+		}
+		res, err := RunBaseline(48, spec)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if !res.Unique {
+			t.Fatalf("kind %d: expected unique renaming", kind)
+		}
+	}
+}
+
+func TestGenerateIDs(t *testing.T) {
+	for _, pattern := range []IDPattern{IDsRandom, IDsEven, IDsClustered} {
+		ids, err := GenerateIDs(100, 5000, pattern, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]bool)
+		for _, id := range ids {
+			if id < 1 || id > 5000 {
+				t.Fatalf("pattern %d: id %d out of range", pattern, id)
+			}
+			if seen[id] {
+				t.Fatalf("pattern %d: duplicate id %d", pattern, id)
+			}
+			seen[id] = true
+		}
+	}
+	if _, err := GenerateIDs(10, 5, IDsRandom, 1); err == nil {
+		t.Fatal("expected error for N < n")
+	}
+}
+
+func TestRunCrashDeterministic(t *testing.T) {
+	spec := CrashSpec{Seed: 11, CommitteeScale: 0.1,
+		Fault: FaultSpec{Kind: FaultRandom, Budget: 20, Prob: 0.05, MidSend: true}}
+	a, err := RunCrash(96, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrash(96, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || a.Bits != b.Bits || a.Crashes != b.Crashes {
+		t.Fatalf("nondeterministic runs: %+v vs %+v", a, b)
+	}
+	for i := range a.NewIDByLink {
+		if a.NewIDByLink[i] != b.NewIDByLink[i] {
+			t.Fatalf("new id differs at %d", i)
+		}
+	}
+}
+
+func TestRunCrashTrace(t *testing.T) {
+	var buf strings.Builder
+	res, err := RunCrash(16, CrashSpec{Seed: 1, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatal("renaming failed")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "notify") || !strings.Contains(out, "status") {
+		t.Fatalf("trace missing payload kinds:\n%s", out)
+	}
+	if res.MaxNodeSent == 0 || res.MaxNodeReceived == 0 {
+		t.Fatalf("per-node load not recorded: %+v", res)
+	}
+}
+
+func TestRunCrashEarlyStopPublic(t *testing.T) {
+	slow, err := RunCrash(128, CrashSpec{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunCrash(128, CrashSpec{Seed: 2, EarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Unique || !fast.Unique {
+		t.Fatal("renaming failed")
+	}
+	if fast.Rounds >= slow.Rounds {
+		t.Fatalf("early stop did not reduce rounds: %d vs %d", fast.Rounds, slow.Rounds)
+	}
+}
+
+func TestRunByzantineMinoritySplit(t *testing.T) {
+	res, err := RunByzantine(24, ByzSpec{
+		Seed:      5,
+		Byzantine: map[int]Behavior{3: BehaviorMinoritySplit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AssumptionHolds && (!res.Unique || !res.OrderPreserving) {
+		t.Fatalf("minority split broke renaming: %+v", res)
+	}
+}
+
+// TestCrashTrafficShape pins the failure-free per-kind message counts to
+// the protocol's arithmetic: a fixed committee of size c produces
+// c·n notifications, n·c statuses, and c·n responses per phase.
+func TestCrashTrafficShape(t *testing.T) {
+	n := 64
+	res, err := RunCrash(n, CrashSpec{Seed: 6, CommitteeScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatal("renaming failed")
+	}
+	phases := int64(res.Rounds / 3)
+	c := int64(res.CommitteeSize)
+	if res.PerKind["notify"] != c*int64(n)*phases {
+		t.Fatalf("notify = %d, want c·n·phases = %d", res.PerKind["notify"], c*int64(n)*phases)
+	}
+	if res.PerKind["status"] != res.PerKind["response"] {
+		t.Fatalf("status %d ≠ response %d in a failure-free run",
+			res.PerKind["status"], res.PerKind["response"])
+	}
+	if res.PerKind["status"] != int64(n)*c*phases {
+		t.Fatalf("status = %d, want n·c·phases = %d", res.PerKind["status"], int64(n)*c*phases)
+	}
+}
+
+// TestRunByzantineRushing subjects the algorithm to rushing equivocators
+// — Byzantine committee members that see each round's honest votes before
+// splitting theirs — and requires the guarantees to survive.
+func TestRunByzantineRushing(t *testing.T) {
+	ran := false
+	for seed := int64(0); seed < 8 && !ran; seed++ {
+		res, err := RunByzantine(27, ByzSpec{
+			Seed: seed,
+			Byzantine: map[int]Behavior{
+				4:  BehaviorRushingEquivocate,
+				13: BehaviorRushingEquivocate,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AssumptionHolds {
+			continue
+		}
+		ran = true
+		if !res.Unique || !res.OrderPreserving {
+			t.Fatalf("rushing equivocators broke renaming: %+v", res)
+		}
+	}
+	if !ran {
+		t.Fatal("no seed satisfied the committee assumption")
+	}
+}
+
+// TestCrashTightBijection: with zero failures, strong (tight) renaming
+// means the new identities are exactly a permutation of [1, n].
+func TestCrashTightBijection(t *testing.T) {
+	for _, n := range []int{7, 32, 129} {
+		res, err := RunCrash(n, CrashSpec{Seed: int64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]bool, n+1)
+		for link, id := range res.NewIDByLink {
+			if id < 1 || id > n || got[id] {
+				t.Fatalf("n=%d link=%d id=%d not a bijection", n, link, id)
+			}
+			got[id] = true
+		}
+	}
+}
+
+// TestByzantineTightBijection: with zero Byzantine nodes the new
+// identities are exactly [1, n].
+func TestByzantineTightBijection(t *testing.T) {
+	n := 30
+	res, err := RunByzantine(n, ByzSpec{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]bool, n+1)
+	for link, id := range res.NewIDByLink {
+		if id < 1 || id > n || got[id] {
+			t.Fatalf("link=%d id=%d not a bijection", link, id)
+		}
+		got[id] = true
+	}
+}
+
+func TestRunCrashValidation(t *testing.T) {
+	if _, err := RunCrash(4, CrashSpec{IDs: []int{1, 2}}); err == nil {
+		t.Fatal("ids/n mismatch accepted")
+	}
+	if _, err := RunCrash(4, CrashSpec{N: 2}); err == nil {
+		t.Fatal("N < n accepted")
+	}
+	if _, err := RunCrash(3, CrashSpec{N: 10, IDs: []int{1, 1, 2}}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestRunByzantineValidation(t *testing.T) {
+	if _, err := RunByzantine(4, ByzSpec{IDs: []int{9}}); err == nil {
+		t.Fatal("ids/n mismatch accepted")
+	}
+	if _, err := RunByzantine(3, ByzSpec{N: 12, IDs: []int{0, 1, 2}}); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package renaming
+
+import (
+	"fmt"
+	"io"
+
+	"renaming/internal/consensus"
+	"renaming/internal/core"
+	"renaming/internal/sim"
+	"renaming/internal/trace"
+)
+
+// Behavior selects a Byzantine node's strategy ("Carlo" is static: the
+// corrupted set and behaviours are fixed before activation).
+type Behavior int
+
+const (
+	// BehaviorSilent plays dead.
+	BehaviorSilent Behavior = iota + 1
+	// BehaviorSplitWorld announces its identity to only half the
+	// committee, diverging the identity lists.
+	BehaviorSplitWorld
+	// BehaviorEquivocate additionally equivocates inside every committee
+	// subprotocol and fabricates early NEW messages.
+	BehaviorEquivocate
+	// BehaviorSpam floods everyone with garbage every round.
+	BehaviorSpam
+	// BehaviorMinoritySplit withholds its announcement from a sub-third
+	// minority of the committee, driving the dirty-segment path.
+	BehaviorMinoritySplit
+	// BehaviorRushingEquivocate sees each round's honest messages before
+	// sending (the rushing power of the synchronous model) and splits
+	// its votes to maximize disagreement.
+	BehaviorRushingEquivocate
+)
+
+func (b Behavior) core() core.ByzBehavior {
+	switch b {
+	case BehaviorSplitWorld:
+		return core.BehaviorSplitWorld
+	case BehaviorEquivocate:
+		return core.BehaviorEquivocate
+	case BehaviorSpam:
+		return core.BehaviorSpam
+	case BehaviorMinoritySplit:
+		return core.BehaviorMinoritySplit
+	case BehaviorRushingEquivocate:
+		return core.BehaviorRushingEquivocate
+	default:
+		return core.BehaviorSilent
+	}
+}
+
+// ByzSpec configures one execution of the Byzantine-resilient algorithm.
+type ByzSpec struct {
+	// N is the original namespace size; defaults to 8·n. The Byzantine
+	// algorithm's divide-and-conquer works over [N], so N also bounds
+	// the recursion depth log N.
+	N int
+	// IDs are the original identities per link; generated with IDsEven
+	// when nil.
+	IDs []int
+	// Seed drives private randomness, the shared-randomness beacon, and
+	// Byzantine behaviour.
+	Seed int64
+	// Epsilon is the paper's ε₀ margin (default 0.1).
+	Epsilon float64
+	// PoolProb overrides the paper's candidate-pool probability p₀
+	// (see core.ByzConfig).
+	PoolProb float64
+	// Sortition switches committee election to public-hash sortition
+	// (no shared randomness; see core.ElectionSortition for the weaker
+	// adversary model this implies).
+	Sortition bool
+	// SplitAlways is the A2 ablation (see core.ByzConfig).
+	SplitAlways bool
+	// Byzantine maps link index → behaviour for corrupted nodes.
+	Byzantine map[int]Behavior
+	// Trace, when non-nil, receives a per-round traffic timeline after
+	// the run.
+	Trace io.Writer
+	// CongestLimit, when positive, flags honest messages above this many
+	// bits in Result.OversizeMessages (CONGEST-model check).
+	CongestLimit int
+}
+
+// RunByzantine executes the Byzantine-resilient renaming algorithm of
+// Section 3 over n nodes and returns the outcome with full communication
+// metrics. Correct nodes' results populate NewIDByLink; Byzantine links
+// are marked -1.
+func RunByzantine(n int, spec ByzSpec) (*Result, error) {
+	if spec.N == 0 {
+		spec.N = 8 * n
+	}
+	if spec.IDs == nil {
+		ids, err := GenerateIDs(n, spec.N, IDsEven, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		spec.IDs = ids
+	}
+	if len(spec.IDs) != n {
+		return nil, fmt.Errorf("renaming: %d ids for %d nodes", len(spec.IDs), n)
+	}
+	cfg := core.ByzConfig{
+		N: spec.N, IDs: spec.IDs, Seed: spec.Seed,
+		Epsilon: spec.Epsilon, PoolProb: spec.PoolProb,
+		SplitAlways: spec.SplitAlways,
+	}
+	if spec.Sortition {
+		cfg.Election = core.ElectionSortition
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.Byzantine) > cfg.MaxByzantine() {
+		return nil, fmt.Errorf("renaming: %d Byzantine nodes exceed the bound %d = (1/3−ε₀)·n",
+			len(spec.Byzantine), cfg.MaxByzantine())
+	}
+
+	honest := make(map[int]*core.ByzNode, n)
+	simNodes := make([]sim.Node, n)
+	var byzLinks, rushLinks []int
+	for i := 0; i < n; i++ {
+		if behavior, bad := spec.Byzantine[i]; bad {
+			simNodes[i] = core.NewByzAttacker(cfg, i, behavior.core())
+			byzLinks = append(byzLinks, i)
+			if behavior == BehaviorRushingEquivocate {
+				rushLinks = append(rushLinks, i)
+			}
+			continue
+		}
+		node := core.NewByzNode(cfg, i)
+		honest[i] = node
+		simNodes[i] = node
+	}
+	opts := []sim.Option{sim.WithByzantine(byzLinks)}
+	if len(rushLinks) > 0 {
+		opts = append(opts, sim.WithRushing(rushLinks))
+	}
+	var recorder *trace.Recorder
+	if spec.Trace != nil {
+		recorder = trace.NewRecorder()
+		opts = append(opts, sim.WithObserver(recorder.Observe))
+	}
+	if spec.CongestLimit > 0 {
+		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
+	}
+	nw := sim.NewNetwork(simNodes, opts...)
+	if err := nw.Run(byzRoundBudget(cfg, len(byzLinks))); err != nil {
+		return nil, fmt.Errorf("byzantine renaming: %w", err)
+	}
+	if recorder != nil {
+		if err := recorder.WriteTimeline(spec.Trace); err != nil {
+			return nil, fmt.Errorf("write trace: %w", err)
+		}
+	}
+
+	res := &Result{
+		NewIDByLink: make([]int, n),
+		Byzantine:   len(byzLinks),
+	}
+	byzInCommittee := 0
+	for i := 0; i < n; i++ {
+		res.NewIDByLink[i] = -1
+		node, ok := honest[i]
+		if !ok {
+			continue
+		}
+		if id, decided := node.Output(); decided {
+			res.NewIDByLink[i] = id
+		}
+		if node.Iterations() > res.Iterations {
+			res.Iterations = node.Iterations()
+		}
+		if res.CommitteeSize == 0 && node.CommitteeSize() > 0 {
+			res.CommitteeSize = node.CommitteeSize()
+			byzInCommittee = node.ByzantineInCommittee(func(link int) bool {
+				_, bad := spec.Byzantine[link]
+				return bad
+			})
+		}
+	}
+	res.AssumptionHolds = res.CommitteeSize > 0 && 3*byzInCommittee < res.CommitteeSize
+	fillMetrics(res, nw)
+	res.fill(spec.IDs)
+	for i := 0; i < n; i++ {
+		if _, bad := spec.Byzantine[i]; !bad && res.NewIDByLink[i] < 0 {
+			res.Unique = false
+		}
+	}
+	return res, nil
+}
+
+// byzRoundBudget returns a generous round ceiling: the loop runs at most
+// ~4·(f+1)·log N iterations (Lemma 3.10), each dominated by two phase-king
+// executions over the committee.
+func byzRoundBudget(cfg core.ByzConfig, byzCount int) int {
+	n := len(cfg.IDs)
+	perIter := consensus.ValidatorRounds + 2*consensus.RoundsFor(n) + consensus.ExchangeRounds + 2
+	iters := 4*(byzCount+1)*(logCeil(cfg.N)+1) + 8
+	if cfg.SplitAlways {
+		// The ablation touches every bit: 2N−1 tree vertices.
+		iters = 2*cfg.N + 8
+	}
+	return 3 + 2*perIter*iters
+}
+
+func logCeil(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
