@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments experiments-quick figures examples clean
+.PHONY: all build test test-short race cover bench ci experiments experiments-quick figures examples clean
 
 all: build test
+
+# What .github/workflows/ci.yml runs on every push/PR.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./... -short -race
 
 build:
 	$(GO) build ./...

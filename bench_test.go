@@ -8,10 +8,12 @@ package renaming_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"renaming"
 	"renaming/internal/lowerbound"
+	"renaming/internal/runner"
 )
 
 func reportCrash(b *testing.B, res *renaming.Result) {
@@ -360,6 +362,52 @@ func BenchmarkAblationSplitAlways(b *testing.B) {
 				}
 			}
 			reportByz(b, res)
+		})
+	}
+}
+
+// BenchmarkSweepWorkers measures the experiment runner's worker-pool
+// speedup: the same 16-point crash sweep at 1 worker vs GOMAXPROCS.
+// Results are identical at any worker count (internal/runner); only the
+// wall-clock changes.
+func BenchmarkSweepWorkers(b *testing.B) {
+	const n = 96
+	sweepPoints := func() []runner.Point {
+		points := make([]runner.Point, 16)
+		for i := range points {
+			seed := int64(i + 1)
+			points[i] = runner.Point{
+				Experiment: "bench", Name: fmt.Sprintf("killer/%d", i),
+				Seed: seed, FixedSeed: true,
+				Run: func(seed int64) (runner.Metrics, error) {
+					res, err := renaming.RunCrash(n, renaming.CrashSpec{Seed: seed, CommitteeScale: 0.02,
+						Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: n / 4, MidSend: true}})
+					if err != nil {
+						return runner.Metrics{}, err
+					}
+					return runner.FromResult(res, n), nil
+				},
+			}
+		}
+		return points
+	}
+	counts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				recs, err := runner.Run(sweepPoints(), runner.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rec := range recs {
+					if rec.Err != "" {
+						b.Fatal(rec.Err)
+					}
+				}
+			}
 		})
 	}
 }

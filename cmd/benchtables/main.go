@@ -3,11 +3,25 @@
 // claims of Theorems 1.2/1.3, the Theorem 1.4 lower bound, the O(log N)
 // message-size bound, and the A1/A2 design ablations.
 //
+// Sweeps fan out across a worker pool (internal/runner); tables are
+// byte-identical at any -workers count. Every run also emits a JSONL
+// telemetry artifact (one record per sweep point — see
+// docs/OBSERVABILITY.md), which -resume replays to skip
+// already-completed points.
+//
 // Usage:
 //
 //	benchtables                 # run everything at full scale
 //	benchtables -quick          # run everything at reduced scale
 //	benchtables -experiment e3  # run a single experiment by id
+//	benchtables -workers 8      # fan sweep points across 8 workers
+//	benchtables -out run.jsonl  # telemetry artifact path ("" disables)
+//	benchtables -resume         # skip points already in -out
+//	benchtables -csv run.csv    # also emit a flat CSV of the records
+//	benchtables -seed 7         # remix all canonical seeds (fresh universe)
+//
+// Tables go to stdout; progress and per-table provenance (wall-clock,
+// seed) go to stderr, so stdout can be diffed across runs.
 package main
 
 import (
@@ -18,6 +32,7 @@ import (
 	"time"
 
 	"renaming/internal/experiments"
+	"renaming/internal/runner"
 )
 
 func main() {
@@ -32,15 +47,71 @@ func run() error {
 	experiment := flag.String("experiment", "", "run a single experiment id (e1 e2 e3 e3n e4 e5 e5n e6 e7 e8 e8c a1 a2 a3)")
 	markdown := flag.Bool("markdown", false, "render tables as Markdown (for EXPERIMENTS.md)")
 	svgDir := flag.String("svgdir", "", "also write each experiment's figures as SVG into this directory")
+	workers := flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS); tables are identical at any setting")
+	out := flag.String("out", "run.jsonl", "JSONL telemetry artifact path (empty disables)")
+	csvPath := flag.String("csv", "", "also write records as CSV to this path")
+	resume := flag.Bool("resume", false, "replay points already recorded in -out instead of re-running them")
+	seed := flag.Int64("seed", 0, "sweep seed remixing every canonical point seed (0 keeps the canonical seeds of EXPERIMENTS.md)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{
+		Quick:     *quick,
+		Workers:   *workers,
+		SweepSeed: *seed,
+	}
+
+	// -resume loads the previous artifact before -out truncates it.
+	if *resume {
+		if *out == "" {
+			return fmt.Errorf("-resume needs -out")
+		}
+		f, err := os.Open(*out)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "resume: no artifact at %s, running everything\n", *out)
+		case err != nil:
+			return err
+		default:
+			art, err := runner.LoadArtifact(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("resume %s: %w", *out, err)
+			}
+			cfg.Resume = art
+			fmt.Fprintf(os.Stderr, "resume: %d completed points loaded from %s\n", art.Len(), *out)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Sinks = append(cfg.Sinks, &runner.JSONLSink{W: f})
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Sinks = append(cfg.Sinks, runner.NewCSVSink(f))
+	}
+	cfg.Sinks = append(cfg.Sinks, &runner.ProgressSink{W: os.Stderr})
+
 	render := func(table *experiments.Table) error {
 		if *markdown {
 			fmt.Println(table.Markdown())
 		} else {
 			fmt.Println(table)
 		}
+		seedNote := "canonical"
+		if table.SweepSeed != 0 {
+			seedNote = fmt.Sprintf("%d", table.SweepSeed)
+		}
+		fmt.Fprintf(os.Stderr, "[%s] wall-clock %s, seed %s\n",
+			table.ID, table.Elapsed.Round(time.Millisecond), seedNote)
 		if *svgDir == "" {
 			return nil
 		}
@@ -67,19 +138,12 @@ func run() error {
 		}
 		return nil
 	}
-	start := time.Now()
+	ids := experiments.IDs()
 	if *experiment != "" {
-		table, err := experiments.ByID(*experiment, cfg)
-		if err != nil {
-			return err
-		}
-		if err := render(table); err != nil {
-			return err
-		}
-		fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
-		return nil
+		ids = []string{*experiment}
 	}
-	for _, id := range experiments.IDs() {
+	start := time.Now()
+	for _, id := range ids {
 		table, err := experiments.ByID(id, cfg)
 		if err != nil {
 			return err
@@ -88,6 +152,9 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "telemetry artifact: %s\n", *out)
+	}
 	return nil
 }

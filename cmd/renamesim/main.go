@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"renaming"
+	"renaming/internal/runner"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run() error {
 		asJSON   = flag.Bool("json", false, "emit the result as JSON (for scripting)")
 		early    = flag.Bool("early-stop", false, "enable the crash algorithm's early-stopping extension")
 		verbose  = flag.Bool("v", false, "print the per-link renaming")
+		outPath  = flag.String("out", "", "append the run as one JSONL telemetry record (docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 
@@ -61,24 +63,23 @@ func run() error {
 		return fmt.Errorf("unknown fault %q", *fault)
 	}
 
-	var (
-		res *renaming.Result
-		err error
-	)
 	var traceOut *os.File
 	if *doTrace {
 		traceOut = os.Stdout
 	}
+	var exec func(seed int64) (*renaming.Result, error)
 	switch *algo {
 	case "crash":
-		spec := renaming.CrashSpec{
-			N: *bigN, Seed: *seed, CommitteeScale: *scale, Fault: faultSpec,
-			EarlyStop: *early,
+		exec = func(seed int64) (*renaming.Result, error) {
+			spec := renaming.CrashSpec{
+				N: *bigN, Seed: seed, CommitteeScale: *scale, Fault: faultSpec,
+				EarlyStop: *early, Profile: *outPath != "",
+			}
+			if traceOut != nil {
+				spec.Trace = traceOut
+			}
+			return renaming.RunCrash(*n, spec)
 		}
-		if traceOut != nil {
-			spec.Trace = traceOut
-		}
-		res, err = renaming.RunCrash(*n, spec)
 	case "byzantine":
 		byz := make(map[int]renaming.Behavior, *f)
 		b, berr := parseBehavior(*behavior)
@@ -88,34 +89,80 @@ func run() error {
 		for i := 0; i < *f; i++ {
 			byz[(3*i+1)%*n] = b
 		}
-		spec := renaming.ByzSpec{
-			N: *bigN, Seed: *seed, PoolProb: *poolProb, Byzantine: byz,
+		exec = func(seed int64) (*renaming.Result, error) {
+			spec := renaming.ByzSpec{
+				N: *bigN, Seed: seed, PoolProb: *poolProb, Byzantine: byz,
+				Profile: *outPath != "",
+			}
+			if traceOut != nil {
+				spec.Trace = traceOut
+			}
+			return renaming.RunByzantine(*n, spec)
 		}
-		if traceOut != nil {
-			spec.Trace = traceOut
-		}
-		res, err = renaming.RunByzantine(*n, spec)
 	case "baseline-a2a":
-		res, err = renaming.RunBaseline(*n, renaming.BaselineSpec{
-			Kind: renaming.BaselineAllToAllCrash, N: *bigN, Seed: *seed, Fault: faultSpec,
-		})
+		exec = func(seed int64) (*renaming.Result, error) {
+			return renaming.RunBaseline(*n, renaming.BaselineSpec{
+				Kind: renaming.BaselineAllToAllCrash, N: *bigN, Seed: seed, Fault: faultSpec,
+			})
+		}
 	case "baseline-sort":
-		res, err = renaming.RunBaseline(*n, renaming.BaselineSpec{
-			Kind: renaming.BaselineCollectSort, N: *bigN, Seed: *seed,
-		})
+		exec = func(seed int64) (*renaming.Result, error) {
+			return renaming.RunBaseline(*n, renaming.BaselineSpec{
+				Kind: renaming.BaselineCollectSort, N: *bigN, Seed: seed,
+			})
+		}
 	case "baseline-byz":
 		links := make([]int, 0, *f)
 		for i := 0; i < *f; i++ {
 			links = append(links, (3*i+1)%*n)
 		}
-		res, err = renaming.RunBaseline(*n, renaming.BaselineSpec{
-			Kind: renaming.BaselineAllToAllByzantine, N: *bigN, Seed: *seed, Byzantine: links,
-		})
+		exec = func(seed int64) (*renaming.Result, error) {
+			return renaming.RunBaseline(*n, renaming.BaselineSpec{
+				Kind: renaming.BaselineAllToAllByzantine, N: *bigN, Seed: seed, Byzantine: links,
+			})
+		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
-	if err != nil {
-		return err
+
+	var res *renaming.Result
+	if *outPath == "" {
+		var err error
+		if res, err = exec(*seed); err != nil {
+			return err
+		}
+	} else {
+		// Route the run through the experiment runner so the telemetry
+		// record matches what benchtables sweeps emit.
+		out, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		point := runner.Point{
+			Experiment: "renamesim", Name: *algo, Seed: *seed, FixedSeed: true,
+			Params: map[string]string{
+				"n": fmt.Sprint(*n), "algo": *algo, "fault": *fault, "f": fmt.Sprint(*f),
+			},
+			Run: func(seed int64) (runner.Metrics, error) {
+				r, err := exec(seed)
+				if err != nil {
+					return runner.Metrics{}, err
+				}
+				res = r
+				return runner.FromResult(r, *n), nil
+			},
+		}
+		recs, err := runner.Run([]runner.Point{point}, runner.Options{
+			Workers: 1, Sinks: []runner.Sink{&runner.JSONLSink{W: out}},
+		})
+		if err != nil {
+			return err
+		}
+		if recs[0].Err != "" {
+			return fmt.Errorf("%s", recs[0].Err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry record appended to %s\n", *outPath)
 	}
 
 	if *asJSON {

@@ -3,26 +3,14 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"renaming"
 	"renaming/internal/lowerbound"
 	"renaming/internal/plot"
+	"renaming/internal/runner"
 	"renaming/internal/stats"
 )
-
-// Config selects experiment scale. Quick shrinks sweeps so the whole
-// suite runs in seconds (used by `go test`); the full scale backs the
-// numbers in EXPERIMENTS.md.
-type Config struct {
-	Quick bool
-}
-
-func (c Config) pick(quick, full int) int {
-	if c.Quick {
-		return quick
-	}
-	return full
-}
 
 // IDs lists every experiment id in canonical order.
 func IDs() []string {
@@ -43,40 +31,51 @@ func All(cfg Config) ([]*Table, error) {
 	return tables, nil
 }
 
-// ByID runs one experiment by its id.
+// ByID runs one experiment by its id. The returned table carries the
+// sweep's wall-clock and seed for provenance printing (cmd/benchtables).
 func ByID(id string, cfg Config) (*Table, error) {
+	start := time.Now()
+	var (
+		table *Table
+		err   error
+	)
 	switch id {
 	case "e1":
-		return E1Table1(cfg)
+		table, err = E1Table1(cfg)
 	case "e2":
-		return E2CrashRounds(cfg)
+		table, err = E2CrashRounds(cfg)
 	case "e3":
-		return E3CrashMessagesVsF(cfg)
+		table, err = E3CrashMessagesVsF(cfg)
 	case "e3n":
-		return E3nCrashMessagesVsN(cfg)
+		table, err = E3nCrashMessagesVsN(cfg)
 	case "e4":
-		return E4CrashWorstCase(cfg)
+		table, err = E4CrashWorstCase(cfg)
 	case "e5":
-		return E5ByzantineVsF(cfg)
+		table, err = E5ByzantineVsF(cfg)
 	case "e5n":
-		return E5nByzantineVsN(cfg)
+		table, err = E5nByzantineVsN(cfg)
 	case "e6":
-		return E6OrderPreservation(cfg)
+		table, err = E6OrderPreservation(cfg)
 	case "e7":
-		return E7LowerBound(cfg)
+		table, err = E7LowerBound(cfg)
 	case "e8":
-		return E8MessageSize(cfg)
+		table, err = E8MessageSize(cfg)
 	case "e8c":
-		return E8cCongest(cfg)
+		table, err = E8cCongest(cfg)
 	case "a1":
-		return A1ReelectionDoubling(cfg)
+		table, err = A1ReelectionDoubling(cfg)
 	case "a2":
-		return A2DivideAndConquer(cfg)
+		table, err = A2DivideAndConquer(cfg)
 	case "a3":
-		return A3ElectionConstant(cfg)
+		table, err = A3ElectionConstant(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}
+	if table != nil {
+		table.Elapsed = time.Since(start)
+		table.SweepSeed = cfg.SweepSeed
+	}
+	return table, err
 }
 
 func log2(n int) float64 { return math.Log2(math.Max(2, float64(n))) }
@@ -96,81 +95,63 @@ func E1Table1(cfg Config) (*Table, error) {
 	n := cfg.pick(64, 192)
 	byzF := n / 12
 	crashF := n / 4
-	t := NewTable("E1", fmt.Sprintf("Table 1 comparison at n=%d", n),
-		"algorithm", "faults", "rounds", "messages", "bits", "maxMsgBits", "strong", "order")
-
-	add := func(name, faults string, res *renaming.Result) {
-		t.AddRow(name, faults,
-			fmt.Sprintf("%d", res.Rounds), fmtCount(res.HonestMessages),
-			fmtCount(res.HonestBits), fmt.Sprintf("%d", res.MaxMessageBits),
-			fmtBool(res.Unique), fmtBool(res.OrderPreserving))
-	}
-
-	res, err := renaming.RunCrash(n, renaming.CrashSpec{Seed: 1, CommitteeScale: 0.02})
-	if err != nil {
-		return nil, err
-	}
-	add("this work (crash)", "f=0", res)
-
-	res, err = renaming.RunCrash(n, renaming.CrashSpec{
-		Seed: 2, CommitteeScale: 0.02,
-		Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: crashF, MidSend: true},
-	})
-	if err != nil {
-		return nil, err
-	}
-	add("this work (crash)", fmt.Sprintf("killer f≤%d (hit %d)", crashF, res.Crashes), res)
-
-	res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: 3,
-		Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: crashF, Prob: 0.05}})
-	if err != nil {
-		return nil, err
-	}
-	add("all-to-all halving [34-style]", fmt.Sprintf("random f=%d", res.Crashes), res)
-
-	res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineCollectSort, Seed: 4})
-	if err != nil {
-		return nil, err
-	}
-	add("collect+sort (crash-free)", "f=0", res)
-
-	byzSpec := renaming.ByzSpec{Seed: 5, PoolProb: 24.0 / float64(n)}
-	res, err = renaming.RunByzantine(n, byzSpec)
-	if err != nil {
-		return nil, err
-	}
-	add("this work (Byzantine)", "f=0", res)
-
-	byzSpec.Seed = 6
-	byzSpec.Byzantine = splitWorldSet(byzF)
-	res, err = renaming.RunByzantine(n, byzSpec)
-	if err != nil {
-		return nil, err
-	}
-	add("this work (Byzantine)", fmt.Sprintf("split-world f=%d", byzF), res)
-	if !res.AssumptionHolds {
-		t.Note("Byzantine run at f=%d fell outside the committee assumption; rerun with another seed", byzF)
-	}
-
 	var byzLinks []int
 	for link := range splitWorldSet(byzF) {
 		byzLinks = append(byzLinks, link)
 	}
-	bres, err := renaming.RunBaseline(n, renaming.BaselineSpec{
-		Kind: renaming.BaselineAllToAllByzantine, Seed: 7, Byzantine: byzLinks,
-	})
+	points := []runner.Point{
+		crashPoint("e1", "crash/f=0", n,
+			renaming.CrashSpec{Seed: cfg.runSeed(1), CommitteeScale: 0.02},
+			intParams("n", n, "algo", "crash")),
+		crashPoint("e1", "crash/killer", n,
+			renaming.CrashSpec{Seed: cfg.runSeed(2), CommitteeScale: 0.02,
+				Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: crashF, MidSend: true}},
+			intParams("n", n, "algo", "crash", "budget", crashF)),
+		baselinePoint("e1", "baseline-a2a/random", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: cfg.runSeed(3),
+				Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: crashF, Prob: 0.05}},
+			intParams("n", n, "algo", "baseline-a2a")),
+		baselinePoint("e1", "baseline-collectsort", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineCollectSort, Seed: cfg.runSeed(4)},
+			intParams("n", n, "algo", "baseline-sort")),
+		byzPoint("e1", "byzantine/f=0", n, 1,
+			renaming.ByzSpec{Seed: cfg.runSeed(5), PoolProb: 24.0 / float64(n)},
+			intParams("n", n, "algo", "byzantine")),
+		byzPoint("e1", "byzantine/split-world", n, 1,
+			renaming.ByzSpec{Seed: cfg.runSeed(6), PoolProb: 24.0 / float64(n),
+				Byzantine: splitWorldSet(byzF)},
+			intParams("n", n, "algo", "byzantine", "f", byzF)),
+		baselinePoint("e1", "baseline-byz-a2a", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineAllToAllByzantine, Seed: cfg.runSeed(7), Byzantine: byzLinks},
+			intParams("n", n, "algo", "baseline-byz", "f", byzF)),
+		baselinePoint("e1", "baseline-reliable-broadcast", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineConsensusBroadcast, Seed: cfg.runSeed(8), Byzantine: byzLinks},
+			intParams("n", n, "algo", "baseline-rb", "f", byzF)),
+	}
+	recs, err := cfg.sweep(points)
 	if err != nil {
 		return nil, err
 	}
-	add("all-to-all Byz halving [33/34-style]", fmt.Sprintf("f=%d", byzF), bres)
 
-	dres, err := renaming.RunBaseline(n, renaming.BaselineSpec{
-		Kind: renaming.BaselineConsensusBroadcast, Seed: 8, Byzantine: byzLinks,
-	})
-	if err != nil {
-		return nil, err
+	t := NewTable("E1", fmt.Sprintf("Table 1 comparison at n=%d", n),
+		"algorithm", "faults", "rounds", "messages", "bits", "maxMsgBits", "strong", "order")
+	add := func(name, faults string, m runner.Metrics) {
+		t.AddRow(name, faults,
+			fmt.Sprintf("%d", m.Rounds), fmtCount(m.HonestMessages),
+			fmtCount(m.HonestBits), fmt.Sprintf("%d", m.MaxMessageBits),
+			fmtBool(m.Unique), fmtBool(m.OrderPreserving))
 	}
-	add("reliable-broadcast ranking [20-style]", fmt.Sprintf("f=%d", byzF), dres)
+	add("this work (crash)", "f=0", recs[0].Metrics)
+	add("this work (crash)", fmt.Sprintf("killer f≤%d (hit %d)", crashF, recs[1].Metrics.Crashes), recs[1].Metrics)
+	add("all-to-all halving [34-style]", fmt.Sprintf("random f=%d", recs[2].Metrics.Crashes), recs[2].Metrics)
+	add("collect+sort (crash-free)", "f=0", recs[3].Metrics)
+	add("this work (Byzantine)", "f=0", recs[4].Metrics)
+	add("this work (Byzantine)", fmt.Sprintf("split-world f=%d", byzF), recs[5].Metrics)
+	if !recs[5].Metrics.AssumptionHolds {
+		t.Note("Byzantine run at f=%d fell outside the committee assumption; rerun with another seed", byzF)
+	}
+	add("all-to-all Byz halving [33/34-style]", fmt.Sprintf("f=%d", byzF), recs[6].Metrics)
+	add("reliable-broadcast ranking [20-style]", fmt.Sprintf("f=%d", byzF), recs[7].Metrics)
 
 	t.Note("committee algorithms use scaled election constants (DESIGN.md §2) so committees are genuinely small at this n")
 	return t, nil
@@ -193,36 +174,41 @@ func E2CrashRounds(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		sizes = append(sizes, 4096)
 	}
+	var points []runner.Point
+	for _, n := range sizes {
+		points = append(points,
+			crashPoint("e2", fmt.Sprintf("killer/n=%d", n), n,
+				renaming.CrashSpec{Seed: cfg.runSeed(int64(n)), CommitteeScale: 0.02,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: n / 4, MidSend: true}},
+				intParams("n", n, "fault", "killer")),
+			crashPoint("e2", fmt.Sprintf("early-stop/n=%d", n), n,
+				renaming.CrashSpec{Seed: cfg.runSeed(int64(n)), CommitteeScale: 0.02, EarlyStop: true},
+				intParams("n", n, "fault", "none")),
+		)
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("E2", "crash algorithm rounds vs n (worst-case adversary)",
 		"n", "rounds", "bound 9·ceil(log2 n)+1", "rounds/log2(n)", "early-stop rounds (f=0)", "unique")
 	chart := plot.Chart{Title: "E2: crash rounds vs n", XLabel: "n (log)", YLabel: "rounds",
 		LogX: true, Series: make([]plot.Series, 2)}
 	chart.Series[0].Name = "worst case (= bound 9·log2 n + 1)"
 	chart.Series[1].Name = "early stop, f=0"
-	for _, n := range sizes {
-		res, err := renaming.RunCrash(n, renaming.CrashSpec{
-			Seed: int64(n), CommitteeScale: 0.02,
-			Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: n / 4, MidSend: true},
-		})
-		if err != nil {
-			return nil, err
-		}
-		early, err := renaming.RunCrash(n, renaming.CrashSpec{
-			Seed: int64(n), CommitteeScale: 0.02, EarlyStop: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range sizes {
+		worst, early := recs[2*i].Metrics, recs[2*i+1].Metrics
 		bound := 9*int(math.Ceil(log2(n))) + 1
-		for si, y := range []float64{float64(res.Rounds), float64(early.Rounds)} {
+		for si, y := range []float64{float64(worst.Rounds), float64(early.Rounds)} {
 			chart.Series[si].Xs = append(chart.Series[si].Xs, float64(n))
 			chart.Series[si].Ys = append(chart.Series[si].Ys, y)
 		}
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", res.Rounds),
-			fmt.Sprintf("%d", bound), fmtRatio(float64(res.Rounds)/log2(n)),
-			fmt.Sprintf("%d", early.Rounds), fmtBool(res.Unique && early.Unique))
-		if res.Rounds > bound {
-			t.Note("BOUND VIOLATED at n=%d: %d > %d", n, res.Rounds, bound)
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", worst.Rounds),
+			fmt.Sprintf("%d", bound), fmtRatio(float64(worst.Rounds)/log2(n)),
+			fmt.Sprintf("%d", early.Rounds), fmtBool(worst.Unique && early.Unique))
+		if worst.Rounds > bound {
+			t.Note("BOUND VIOLATED at n=%d: %d > %d", n, worst.Rounds, bound)
 		}
 	}
 	t.Note("rounds/log2(n) should be ~constant: the paper's O(log n) deterministic bound")
@@ -237,32 +223,39 @@ func E2CrashRounds(cfg Config) (*Table, error) {
 // sits at Θ(n²·log n) regardless.
 func E3CrashMessagesVsF(cfg Config) (*Table, error) {
 	n := cfg.pick(256, 1024)
-	t := NewTable("E3", fmt.Sprintf("crash messages vs f at n=%d (committee killer)", n),
-		"f (actual)", "messages", "model (f+log n)·n·log n", "msgs/model", "msgs/n²log n", "unique")
-	baseRes, err := renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-	n2logn := float64(n) * float64(n) * log2(n)
 	budgets := []int{0, 1, 4, 16, 64}
 	if !cfg.Quick {
 		budgets = append(budgets, 256, n/2, n-1)
 	}
-	for _, budget := range budgets {
-		res, err := renaming.RunCrash(n, renaming.CrashSpec{
-			Seed: int64(1000 + budget), CommitteeScale: 0.01,
-			Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: budget, MidSend: true},
-		})
-		if err != nil {
-			return nil, err
-		}
-		model := (float64(res.Crashes) + log2(n)) * float64(n) * log2(n)
-		t.AddRow(fmt.Sprintf("%d", res.Crashes), fmtCount(res.Messages),
-			fmtCount(int64(model)), fmtRatio(float64(res.Messages)/model),
-			fmt.Sprintf("%.3f", float64(res.Messages)/n2logn), fmtBool(res.Unique))
+	points := []runner.Point{
+		baselinePoint("e3", "baseline-a2a", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: cfg.runSeed(1)},
+			intParams("n", n, "algo", "baseline-a2a")),
 	}
+	for _, budget := range budgets {
+		points = append(points, crashPoint("e3", fmt.Sprintf("killer/budget=%d", budget), n,
+			renaming.CrashSpec{Seed: cfg.runSeed(int64(1000 + budget)), CommitteeScale: 0.01,
+				Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: budget, MidSend: true}},
+			intParams("n", n, "budget", budget)))
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E3", fmt.Sprintf("crash messages vs f at n=%d (committee killer)", n),
+		"f (actual)", "messages", "model (f+log n)·n·log n", "msgs/model", "msgs/n²log n", "unique")
+	n2logn := float64(n) * float64(n) * log2(n)
+	for _, rec := range recs[1:] {
+		m := rec.Metrics
+		model := (float64(m.Crashes) + log2(n)) * float64(n) * log2(n)
+		t.AddRow(fmt.Sprintf("%d", m.Crashes), fmtCount(m.Messages),
+			fmtCount(int64(model)), fmtRatio(float64(m.Messages)/model),
+			fmt.Sprintf("%.3f", float64(m.Messages)/n2logn), fmtBool(m.Unique))
+	}
+	base := recs[0].Metrics
 	t.Note("all-to-all baseline at the same n: %s messages (%.2f of n²·log n) regardless of f",
-		fmtCount(baseRes.Messages), float64(baseRes.Messages)/n2logn)
+		fmtCount(base.Messages), float64(base.Messages)/n2logn)
 	t.Note("msgs/model stays bounded ⇒ the O((f+log n)·n·log n) bound of Theorem 1.2 holds; msgs/n²log n below the baseline at small f ⇒ adaptivity")
 	return t, nil
 }
@@ -272,9 +265,6 @@ func E3CrashMessagesVsF(cfg Config) (*Table, error) {
 // messages.
 func E4CrashWorstCase(cfg Config) (*Table, error) {
 	n := cfg.pick(128, 256)
-	t := NewTable("E4", fmt.Sprintf("crash worst-case message ceiling at n=%d", n),
-		"adversary", "f (actual)", "messages", "msgs/n²log n", "unique")
-	n2logn := float64(n) * float64(n) * log2(n)
 	specs := []struct {
 		name  string
 		fault renaming.FaultSpec
@@ -286,20 +276,29 @@ func E4CrashWorstCase(cfg Config) (*Table, error) {
 		{"burst n/2 @ round 3", renaming.FaultSpec{Kind: renaming.FaultBurst, Round: 3, Nodes: firstK(n / 2)}, 0.02},
 		{"committee killer n−1", renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: n - 1, MidSend: true}, 0.02},
 	}
+	var points []runner.Point
+	for i, s := range specs {
+		points = append(points, crashPoint("e4", s.name, n,
+			renaming.CrashSpec{Seed: cfg.runSeed(int64(i + 1)), CommitteeScale: s.scale, Fault: s.fault},
+			intParams("n", n, "adversary", s.name)))
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E4", fmt.Sprintf("crash worst-case message ceiling at n=%d", n),
+		"adversary", "f (actual)", "messages", "msgs/n²log n", "unique")
+	n2logn := float64(n) * float64(n) * log2(n)
 	worst := 0.0
 	for i, s := range specs {
-		res, err := renaming.RunCrash(n, renaming.CrashSpec{
-			Seed: int64(i + 1), CommitteeScale: s.scale, Fault: s.fault,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ratio := float64(res.Messages) / n2logn
+		m := recs[i].Metrics
+		ratio := float64(m.Messages) / n2logn
 		if ratio > worst {
 			worst = ratio
 		}
-		t.AddRow(s.name, fmt.Sprintf("%d", res.Crashes), fmtCount(res.Messages),
-			fmt.Sprintf("%.3f", ratio), fmtBool(res.Unique))
+		t.AddRow(s.name, fmt.Sprintf("%d", m.Crashes), fmtCount(m.Messages),
+			fmt.Sprintf("%.3f", ratio), fmtBool(m.Unique))
 	}
 	t.Note("worst observed ratio %.3f — the deterministic Θ(n² log n) ceiling holds with a small constant", worst)
 	return t, nil
@@ -313,35 +312,41 @@ func E5ByzantineVsF(cfg Config) (*Table, error) {
 	n := cfg.pick(60, 120)
 	bigN := 8 * n
 	poolProb := 20.0 / float64(n)
-	t := NewTable("E5", fmt.Sprintf("Byzantine algorithm vs f at n=%d, N=%d (split-world)", n, bigN),
-		"f", "committee", "iterations", "4·f·logN", "rounds", "messages", "model f·logN·log³n + n·logn", "msgs/model", "unique", "order")
 	fs := []int{0, 1, 2, 4}
 	if !cfg.Quick {
 		fs = append(fs, 8, 16)
 	}
+	var points []runner.Point
+	for _, f := range fs {
+		points = append(points, byzPoint("e5", fmt.Sprintf("split-world/f=%d", f), n, 8,
+			renaming.ByzSpec{N: bigN, Seed: cfg.runSeed(42), PoolProb: poolProb,
+				Byzantine: splitWorldSet(f)},
+			intParams("n", n, "N", bigN, "f", f)))
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E5", fmt.Sprintf("Byzantine algorithm vs f at n=%d, N=%d (split-world)", n, bigN),
+		"f", "committee", "iterations", "4·f·logN", "rounds", "messages", "model f·logN·log³n + n·logn", "msgs/model", "unique", "order")
 	logN, logn := log2(bigN), log2(n)
 	var fx, msgsY, itersY []float64
-	for _, f := range fs {
-		res, err := runByzWithAssumption(n, renaming.ByzSpec{
-			N: bigN, Seed: 42, PoolProb: poolProb,
-			Byzantine: splitWorldSet(f),
-		}, 8)
-		if err != nil {
-			return nil, err
-		}
+	for i, f := range fs {
+		m := recs[i].Metrics
 		model := float64(f)*logN*logn*logn*logn + float64(n)*logn
 		iterBound := 4 * f * int(logN)
 		if f == 0 {
 			iterBound = 1
 		}
 		fx = append(fx, float64(f))
-		msgsY = append(msgsY, float64(res.HonestMessages))
-		itersY = append(itersY, float64(res.Iterations))
-		t.AddRow(fmt.Sprintf("%d", f), fmt.Sprintf("%d", res.CommitteeSize),
-			fmt.Sprintf("%d", res.Iterations), fmt.Sprintf("%d", iterBound),
-			fmt.Sprintf("%d", res.Rounds), fmtCount(res.HonestMessages),
-			fmtCount(int64(model)), fmtRatio(float64(res.HonestMessages)/model),
-			fmtBool(res.Unique), fmtBool(res.OrderPreserving))
+		msgsY = append(msgsY, float64(m.HonestMessages))
+		itersY = append(itersY, float64(m.Iterations))
+		t.AddRow(fmt.Sprintf("%d", f), fmt.Sprintf("%d", m.CommitteeSize),
+			fmt.Sprintf("%d", m.Iterations), fmt.Sprintf("%d", iterBound),
+			fmt.Sprintf("%d", m.Rounds), fmtCount(m.HonestMessages),
+			fmtCount(int64(model)), fmtRatio(float64(m.HonestMessages)/model),
+			fmtBool(m.Unique), fmtBool(m.OrderPreserving))
 	}
 	t.Note("iterations ≤ 4·f·logN (Lemma 3.10); msgs/model bounded ⇒ the O~(f+n) message claim of Theorem 1.3")
 	t.Note("absolute counts carry a |committee|² ≈ log²n constant, so the crossover against Θ(n²) baselines lies beyond laptop n — see E5n for the growth rates")
@@ -378,25 +383,35 @@ func runByzWithAssumption(n int, spec renaming.ByzSpec, attempts int) (*renaming
 // not, matching the "-" entry in the paper's table.
 func E6OrderPreservation(cfg Config) (*Table, error) {
 	n := cfg.pick(48, 96)
-	t := NewTable("E6", "order preservation across algorithms",
-		"algorithm", "pattern", "unique", "order-preserving")
-	for _, pattern := range []renaming.IDPattern{renaming.IDsEven, renaming.IDsRandom, renaming.IDsClustered} {
+	patterns := []renaming.IDPattern{renaming.IDsEven, renaming.IDsRandom, renaming.IDsClustered}
+	var points []runner.Point
+	for _, pattern := range patterns {
 		ids, err := renaming.GenerateIDs(n, 8*n, pattern, 11)
 		if err != nil {
 			return nil, err
 		}
-		cres, err := renaming.RunCrash(n, renaming.CrashSpec{N: 8 * n, IDs: ids, Seed: 13,
-			Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 6, Prob: 0.05}})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("this work (crash)", patternName(pattern), fmtBool(cres.Unique), fmtBool(cres.OrderPreserving))
-		bres, err := runByzWithAssumption(n, renaming.ByzSpec{N: 8 * n, IDs: ids, Seed: 17,
-			Byzantine: splitWorldSet(n / 16)}, 8)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("this work (Byzantine)", patternName(pattern), fmtBool(bres.Unique), fmtBool(bres.OrderPreserving))
+		points = append(points,
+			crashPoint("e6", "crash/"+patternName(pattern), n,
+				renaming.CrashSpec{N: 8 * n, IDs: ids, Seed: cfg.runSeed(13),
+					Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 6, Prob: 0.05}},
+				intParams("n", n, "pattern", patternName(pattern), "algo", "crash")),
+			byzPoint("e6", "byzantine/"+patternName(pattern), n, 8,
+				renaming.ByzSpec{N: 8 * n, IDs: ids, Seed: cfg.runSeed(17),
+					Byzantine: splitWorldSet(n / 16)},
+				intParams("n", n, "pattern", patternName(pattern), "algo", "byzantine")),
+		)
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E6", "order preservation across algorithms",
+		"algorithm", "pattern", "unique", "order-preserving")
+	for i, pattern := range patterns {
+		crash, byz := recs[2*i].Metrics, recs[2*i+1].Metrics
+		t.AddRow("this work (crash)", patternName(pattern), fmtBool(crash.Unique), fmtBool(crash.OrderPreserving))
+		t.AddRow("this work (Byzantine)", patternName(pattern), fmtBool(byz.Unique), fmtBool(byz.OrderPreserving))
 	}
 	t.Note("the Byzantine algorithm must always be order-preserving (Theorem 1.3)")
 	t.Note("the crash algorithm carries no order guarantee (Table 1 '-'), though its rank rule preserves order when views stay consistent")
@@ -419,38 +434,79 @@ func patternName(p renaming.IDPattern) string {
 // success probability 3/4.
 func E7LowerBound(cfg Config) (*Table, error) {
 	trials := cfg.pick(400, 2000)
-	t := NewTable("E7", "Theorem 1.4 lower bound: anonymous renaming success vs message budget",
-		"n", "budget", "budget/n", "success rate")
 	sizes := []int{64, 256}
 	if !cfg.Quick {
 		sizes = append(sizes, 1024)
 	}
+	fracs := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.97, 1}
+	var points []runner.Point
+	for _, n := range sizes {
+		n := n
+		for _, frac := range fracs {
+			frac := frac
+			budget := int(frac * float64(n))
+			points = append(points, funcPoint("e7", fmt.Sprintf("rate/n=%d/frac=%.2f", n, frac),
+				cfg.runSeed(int64(n)), intParams("n", n, "budget", budget),
+				func(seed int64) (runner.Metrics, error) {
+					rate := lowerbound.SuccessRate(n, budget, trials, seed)
+					return runner.Metrics{Extra: map[string]float64{"successRate": rate}}, nil
+				}))
+		}
+		points = append(points, funcPoint("e7", fmt.Sprintf("min-budget/n=%d", n),
+			cfg.runSeed(int64(n)), intParams("n", n, "target", "0.75"),
+			func(seed int64) (runner.Metrics, error) {
+				min := lowerbound.MinBudgetFor(n, 0.75, trials, seed)
+				return runner.Metrics{Extra: map[string]float64{"minBudget": float64(min)}}, nil
+			}))
+	}
+	// Cross-check with the on-the-wire protocol (real messages on the
+	// simulator, not an analytical budget).
+	wireN := 64
+	wireTrials := cfg.pick(200, 1000)
+	wireProbs := []float64{0.5, 0.9, 1}
+	for _, prob := range wireProbs {
+		prob := prob
+		points = append(points, funcPoint("e7", fmt.Sprintf("wire/prob=%.2f", prob),
+			cfg.runSeed(9), intParams("n", wireN, "requestProb", prob),
+			func(seed int64) (runner.Metrics, error) {
+				rate, msgs, err := lowerbound.ProtocolSuccessRate(wireN, prob, wireTrials, seed)
+				if err != nil {
+					return runner.Metrics{}, err
+				}
+				return runner.Metrics{Extra: map[string]float64{"successRate": rate, "messagesPerRun": msgs}}, nil
+			}))
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E7", "Theorem 1.4 lower bound: anonymous renaming success vs message budget",
+		"n", "budget", "budget/n", "success rate")
 	var chartSeries []plot.Series
+	idx := 0
 	for _, n := range sizes {
 		series := plot.Series{Name: fmt.Sprintf("n=%d", n)}
-		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.97, 1} {
+		for _, frac := range fracs {
 			budget := int(frac * float64(n))
-			rate := lowerbound.SuccessRate(n, budget, trials, int64(n))
+			rate := recs[idx].Metrics.Extra["successRate"]
+			idx++
 			series.Xs = append(series.Xs, frac)
 			series.Ys = append(series.Ys, rate)
 			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", budget),
 				fmt.Sprintf("%.2f", frac), fmt.Sprintf("%.3f", rate))
 		}
 		chartSeries = append(chartSeries, series)
-		min := lowerbound.MinBudgetFor(n, 0.75, trials, int64(n))
+		min := int(recs[idx].Metrics.Extra["minBudget"])
+		idx++
 		t.Note("n=%d: smallest budget reaching success ≥ 3/4 is %d (%.2f·n) — Ω(n) messages are necessary",
 			n, min, float64(min)/float64(n))
 	}
-	// Cross-check with the on-the-wire protocol (real messages on the
-	// simulator, not an analytical budget).
-	wireN := 64
-	for _, prob := range []float64{0.5, 0.9, 1} {
-		rate, msgs, err := lowerbound.ProtocolSuccessRate(wireN, prob, cfg.pick(200, 1000), 9)
-		if err != nil {
-			return nil, err
-		}
+	for _, prob := range wireProbs {
+		m := recs[idx].Metrics
+		idx++
 		t.Note("on-the-wire protocol at n=%d, request prob %.2f: success %.3f with %.0f real messages/run",
-			wireN, prob, rate, msgs)
+			wireN, prob, m.Extra["successRate"], m.Extra["messagesPerRun"])
 	}
 	t.Charts = append(t.Charts, plot.Chart{
 		Title: "E7: anonymous renaming success vs message budget", XLabel: "budget / n", YLabel: "success probability",
@@ -464,36 +520,45 @@ func E7LowerBound(cfg Config) (*Table, error) {
 // size N and never faster.
 func E8MessageSize(cfg Config) (*Table, error) {
 	n := cfg.pick(64, 128)
-	t := NewTable("E8", fmt.Sprintf("max message size vs namespace N at n=%d", n),
-		"algorithm", "N", "maxMsgBits", "maxMsgBits/log2 N")
 	exps := []int{12, 20, 30, 44}
 	if !cfg.Quick {
 		exps = append(exps, 56)
 	}
+	byzExps := []int{10, 13, 16}
+	var points []runner.Point
 	for _, e := range exps {
 		bigN := 1 << e
 		ids, err := renaming.GenerateIDs(n, bigN, renaming.IDsRandom, int64(e))
 		if err != nil {
 			return nil, err
 		}
-		res, err := renaming.RunCrash(n, renaming.CrashSpec{N: bigN, IDs: ids, Seed: int64(e),
-			CommitteeScale: 0.05,
-			Fault:          renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 8, Prob: 0.05}})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("crash", fmt.Sprintf("2^%d", e), fmt.Sprintf("%d", res.MaxMessageBits),
-			fmtRatio(float64(res.MaxMessageBits)/float64(e)))
+		points = append(points, crashPoint("e8", fmt.Sprintf("crash/N=2^%d", e), n,
+			renaming.CrashSpec{N: bigN, IDs: ids, Seed: cfg.runSeed(int64(e)), CommitteeScale: 0.05,
+				Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 8, Prob: 0.05}},
+			intParams("n", n, "logN", e, "algo", "crash")))
 	}
-	for _, e := range []int{10, 13, 16} {
-		bigN := 1 << e
-		res, err := runByzWithAssumption(n, renaming.ByzSpec{N: bigN, Seed: int64(e),
-			PoolProb: 18.0 / float64(n), Byzantine: splitWorldSet(2)}, 8)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("byzantine", fmt.Sprintf("2^%d", e), fmt.Sprintf("%d", res.MaxMessageBits),
-			fmtRatio(float64(res.MaxMessageBits)/float64(e)))
+	for _, e := range byzExps {
+		points = append(points, byzPoint("e8", fmt.Sprintf("byzantine/N=2^%d", e), n, 8,
+			renaming.ByzSpec{N: 1 << e, Seed: cfg.runSeed(int64(e)),
+				PoolProb: 18.0 / float64(n), Byzantine: splitWorldSet(2)},
+			intParams("n", n, "logN", e, "algo", "byzantine")))
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E8", fmt.Sprintf("max message size vs namespace N at n=%d", n),
+		"algorithm", "N", "maxMsgBits", "maxMsgBits/log2 N")
+	for i, e := range exps {
+		m := recs[i].Metrics
+		t.AddRow("crash", fmt.Sprintf("2^%d", e), fmt.Sprintf("%d", m.MaxMessageBits),
+			fmtRatio(float64(m.MaxMessageBits)/float64(e)))
+	}
+	for i, e := range byzExps {
+		m := recs[len(exps)+i].Metrics
+		t.AddRow("byzantine", fmt.Sprintf("2^%d", e), fmt.Sprintf("%d", m.MaxMessageBits),
+			fmtRatio(float64(m.MaxMessageBits)/float64(e)))
 	}
 	t.Note("maxMsgBits/log2 N bounded ⇒ messages are O(log N) bits; both algorithms fit CONGEST for N=poly(n)")
 	return t, nil
@@ -505,25 +570,38 @@ func E8MessageSize(cfg Config) (*Table, error) {
 func A1ReelectionDoubling(cfg Config) (*Table, error) {
 	n := cfg.pick(128, 256)
 	seeds := cfg.pick(5, 10)
+	variants := []bool{false, true}
+	var points []runner.Point
+	for _, disable := range variants {
+		for seed := 0; seed < seeds; seed++ {
+			name := "doubling-on"
+			if disable {
+				name = "doubling-off"
+			}
+			points = append(points, crashPoint("a1", fmt.Sprintf("%s/seed=%d", name, seed), n,
+				renaming.CrashSpec{Seed: cfg.runSeed(int64(seed)), CommitteeScale: 0.02,
+					DisableReelectionDoubling: disable,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller,
+						Budget: n - 1, MidSend: true}},
+				intParams("n", n, "disableDoubling", disable)))
+		}
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("A1", fmt.Sprintf("ablation: re-election probability doubling at n=%d (killer adversary)", n),
 		"variant", "success rate", "avg crashes used", "avg messages")
-	for _, disable := range []bool{false, true} {
+	for vi, disable := range variants {
 		successes, crashes, msgs := 0, int64(0), int64(0)
 		for seed := 0; seed < seeds; seed++ {
-			res, err := renaming.RunCrash(n, renaming.CrashSpec{
-				Seed: int64(seed), CommitteeScale: 0.02,
-				DisableReelectionDoubling: disable,
-				Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller,
-					Budget: n - 1, MidSend: true},
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Unique {
+			m := recs[vi*seeds+seed].Metrics
+			if m.Unique {
 				successes++
 			}
-			crashes += int64(res.Crashes)
-			msgs += res.Messages
+			crashes += int64(m.Crashes)
+			msgs += m.Messages
 		}
 		name := "doubling on (paper)"
 		if disable {
@@ -543,23 +621,39 @@ func A2DivideAndConquer(cfg Config) (*Table, error) {
 	n := cfg.pick(36, 48)
 	bigN := 4 * n
 	poolProb := 12.0 / float64(n)
+	fs := []int{0, 2}
+	splits := []bool{false, true}
+	var points []runner.Point
+	for _, f := range fs {
+		for _, split := range splits {
+			name := "fingerprint"
+			if split {
+				name = "per-bit"
+			}
+			points = append(points, byzPoint("a2", fmt.Sprintf("%s/f=%d", name, f), n, 8,
+				renaming.ByzSpec{N: bigN, Seed: cfg.runSeed(int64(7 + f)), PoolProb: poolProb,
+					SplitAlways: split, Byzantine: splitWorldSet(f)},
+				intParams("n", n, "N", bigN, "f", f, "splitAlways", split)))
+		}
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("A2", fmt.Sprintf("ablation: fingerprint divide-and-conquer vs per-bit consensus (n=%d, N=%d)", n, bigN),
 		"variant", "f", "iterations", "rounds", "messages", "unique")
-	for _, f := range []int{0, 2} {
-		for _, split := range []bool{false, true} {
-			res, err := runByzWithAssumption(n, renaming.ByzSpec{
-				N: bigN, Seed: int64(7 + f), PoolProb: poolProb, SplitAlways: split,
-				Byzantine: splitWorldSet(f),
-			}, 8)
-			if err != nil {
-				return nil, err
-			}
+	idx := 0
+	for _, f := range fs {
+		for _, split := range splits {
+			m := recs[idx].Metrics
+			idx++
 			name := "fingerprint D&C (paper)"
 			if split {
 				name = "per-bit consensus (ablation)"
 			}
-			t.AddRow(name, fmt.Sprintf("%d", f), fmt.Sprintf("%d", res.Iterations),
-				fmt.Sprintf("%d", res.Rounds), fmtCount(res.HonestMessages), fmtBool(res.Unique))
+			t.AddRow(name, fmt.Sprintf("%d", f), fmt.Sprintf("%d", m.Iterations),
+				fmt.Sprintf("%d", m.Rounds), fmtCount(m.HonestMessages), fmtBool(m.Unique))
 		}
 	}
 	t.Note("the ablation pays Θ(N) consensus instances; fingerprinting pays O(f·log N) — the paper's core communication win")
@@ -583,31 +677,36 @@ func E3nCrashMessagesVsN(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		sizes = append(sizes, 1024, 2048)
 	}
+	const f = 8
+	var points []runner.Point
+	for _, n := range sizes {
+		points = append(points,
+			crashPoint("e3n", fmt.Sprintf("ours/n=%d", n), n,
+				renaming.CrashSpec{Seed: cfg.runSeed(int64(n)), CommitteeScale: 0.01,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: f, MidSend: true}},
+				intParams("n", n, "budget", f)),
+			baselinePoint("e3n", fmt.Sprintf("baseline/n=%d", n), n,
+				renaming.BaselineSpec{Kind: renaming.BaselineAllToAllCrash, Seed: cfg.runSeed(int64(n)),
+					Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: f, Prob: 0.05}},
+				intParams("n", n, "budget", f)),
+		)
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("E3n", "crash messages vs n at fixed f (ours vs all-to-all baseline)",
 		"n", "f", "ours msgs", "ours/(n·log²n)", "baseline msgs", "baseline/(n²·log n)")
 	var ns, ourMsgs, baseMsgs []float64
-	for _, n := range sizes {
-		f := 8
-		res, err := renaming.RunCrash(n, renaming.CrashSpec{
-			Seed: int64(n), CommitteeScale: 0.01,
-			Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: f, MidSend: true},
-		})
-		if err != nil {
-			return nil, err
-		}
-		base, err := renaming.RunBaseline(n, renaming.BaselineSpec{
-			Kind: renaming.BaselineAllToAllCrash, Seed: int64(n),
-			Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: f, Prob: 0.05},
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range sizes {
+		ours, base := recs[2*i].Metrics, recs[2*i+1].Metrics
 		nf := float64(n)
 		ns = append(ns, nf)
-		ourMsgs = append(ourMsgs, float64(res.Messages))
+		ourMsgs = append(ourMsgs, float64(ours.Messages))
 		baseMsgs = append(baseMsgs, float64(base.Messages))
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", res.Crashes),
-			fmtCount(res.Messages), fmtRatio(float64(res.Messages)/(nf*log2(n)*log2(n))),
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", ours.Crashes),
+			fmtCount(ours.Messages), fmtRatio(float64(ours.Messages)/(nf*log2(n)*log2(n))),
 			fmtCount(base.Messages), fmtRatio(float64(base.Messages)/(nf*nf*log2(n))))
 	}
 	if ourFit, err := stats.PowerLawExponent(ns, ourMsgs); err == nil {
@@ -636,37 +735,45 @@ func E5nByzantineVsN(cfg Config) (*Table, error) {
 		sizes = append(sizes, 384)
 	}
 	f := 2
-	t := NewTable("E5n", fmt.Sprintf("Byzantine messages/bits vs n at fixed f=%d (ours vs all-to-all baseline)", f),
-		"n", "ours msgs", "ours/(n·log n)", "ours bits", "baseline msgs", "baseline/(n²·log n)", "baseline bits")
 	seeds := cfg.pick(1, 3)
-	var ns, ourMsgs, baseMsgs []float64
+	var points []runner.Point
 	for _, n := range sizes {
-		var msgSum, bitSum int64
-		runs := 0
 		for s := 0; s < seeds; s++ {
-			res, err := runByzWithAssumption(n, renaming.ByzSpec{
-				N: 8 * n, Seed: int64(n + 101*s), PoolProb: 16.0 / float64(n),
-				Byzantine: splitWorldSet(f),
-			}, 8)
-			if err != nil {
-				return nil, err
-			}
-			msgSum += res.HonestMessages
-			bitSum += res.HonestBits
-			runs++
+			points = append(points, byzPoint("e5n", fmt.Sprintf("ours/n=%d/seed=%d", n, s), n, 8,
+				renaming.ByzSpec{N: 8 * n, Seed: cfg.runSeed(int64(n + 101*s)), PoolProb: 16.0 / float64(n),
+					Byzantine: splitWorldSet(f)},
+				intParams("n", n, "f", f, "rep", s)))
 		}
-		avgMsgs := msgSum / int64(runs)
-		avgBits := bitSum / int64(runs)
 		var byzLinks []int
 		for link := range splitWorldSet(f) {
 			byzLinks = append(byzLinks, link)
 		}
-		base, err := renaming.RunBaseline(n, renaming.BaselineSpec{
-			Kind: renaming.BaselineAllToAllByzantine, Seed: int64(n), Byzantine: byzLinks,
-		})
-		if err != nil {
-			return nil, err
+		points = append(points, baselinePoint("e5n", fmt.Sprintf("baseline/n=%d", n), n,
+			renaming.BaselineSpec{Kind: renaming.BaselineAllToAllByzantine, Seed: cfg.runSeed(int64(n)),
+				Byzantine: byzLinks},
+			intParams("n", n, "f", f)))
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("E5n", fmt.Sprintf("Byzantine messages/bits vs n at fixed f=%d (ours vs all-to-all baseline)", f),
+		"n", "ours msgs", "ours/(n·log n)", "ours bits", "baseline msgs", "baseline/(n²·log n)", "baseline bits")
+	var ns, ourMsgs, baseMsgs []float64
+	idx := 0
+	for _, n := range sizes {
+		var msgSum, bitSum int64
+		for s := 0; s < seeds; s++ {
+			m := recs[idx].Metrics
+			idx++
+			msgSum += m.HonestMessages
+			bitSum += m.HonestBits
 		}
+		base := recs[idx].Metrics
+		idx++
+		avgMsgs := msgSum / int64(seeds)
+		avgBits := bitSum / int64(seeds)
 		nf := float64(n)
 		ns = append(ns, nf)
 		ourMsgs = append(ourMsgs, float64(avgMsgs))
@@ -707,44 +814,38 @@ func E8cCongest(cfg Config) (*Table, error) {
 	// the algorithms is growth: the baselines' messages grow with n, so
 	// they blow any fixed O(log N) budget.
 	limit := 128
+	byzLinks := []int{1, 7}
+	points := []runner.Point{
+		crashPoint("e8c", "crash", n,
+			renaming.CrashSpec{N: bigN, Seed: cfg.runSeed(1), CommitteeScale: 0.05, CongestLimit: limit,
+				Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 8, Prob: 0.05}},
+			intParams("n", n, "N", bigN, "limit", limit)),
+		byzPoint("e8c", "byzantine", n, 8,
+			renaming.ByzSpec{N: bigN, Seed: cfg.runSeed(2), PoolProb: 16.0 / float64(n), CongestLimit: limit,
+				Byzantine: map[int]renaming.Behavior{1: renaming.BehaviorSplitWorld, 7: renaming.BehaviorSplitWorld}},
+			intParams("n", n, "N", bigN, "limit", limit)),
+		baselinePoint("e8c", "baseline-byz-a2a", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineAllToAllByzantine, N: bigN, Seed: cfg.runSeed(3),
+				Byzantine: byzLinks, CongestLimit: limit},
+			intParams("n", n, "N", bigN, "limit", limit)),
+		baselinePoint("e8c", "baseline-reliable-broadcast", n,
+			renaming.BaselineSpec{Kind: renaming.BaselineConsensusBroadcast, N: bigN, Seed: cfg.runSeed(4),
+				Byzantine: byzLinks, CongestLimit: limit},
+			intParams("n", n, "N", bigN, "limit", limit)),
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("E8c", fmt.Sprintf("CONGEST compliance at budget %d bits/message (n=%d, N=%d)", limit, n, bigN),
 		"algorithm", "honest msgs", "oversize msgs", "maxMsgBits")
-	byzLinks := []int{1, 7}
-
-	res, err := renaming.RunCrash(n, renaming.CrashSpec{N: bigN, Seed: 1, CommitteeScale: 0.05,
-		CongestLimit: limit,
-		Fault:        renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: n / 8, Prob: 0.05}})
-	if err != nil {
-		return nil, err
+	names := []string{"this work (crash)", "this work (Byzantine)", "all-to-all Byz halving", "reliable-broadcast ranking"}
+	for i, name := range names {
+		m := recs[i].Metrics
+		t.AddRow(name, fmtCount(m.HonestMessages), fmtCount(m.OversizeMessages),
+			fmt.Sprintf("%d", m.MaxMessageBits))
 	}
-	t.AddRow("this work (crash)", fmtCount(res.HonestMessages), fmtCount(res.OversizeMessages),
-		fmt.Sprintf("%d", res.MaxMessageBits))
-
-	res, err = runByzWithAssumption(n, renaming.ByzSpec{N: bigN, Seed: 2, PoolProb: 16.0 / float64(n),
-		CongestLimit: limit,
-		Byzantine:    map[int]renaming.Behavior{1: renaming.BehaviorSplitWorld, 7: renaming.BehaviorSplitWorld}}, 8)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("this work (Byzantine)", fmtCount(res.HonestMessages), fmtCount(res.OversizeMessages),
-		fmt.Sprintf("%d", res.MaxMessageBits))
-
-	res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineAllToAllByzantine,
-		N: bigN, Seed: 3, Byzantine: byzLinks, CongestLimit: limit})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("all-to-all Byz halving", fmtCount(res.HonestMessages), fmtCount(res.OversizeMessages),
-		fmt.Sprintf("%d", res.MaxMessageBits))
-
-	res, err = renaming.RunBaseline(n, renaming.BaselineSpec{Kind: renaming.BaselineConsensusBroadcast,
-		N: bigN, Seed: 4, Byzantine: byzLinks, CongestLimit: limit})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("reliable-broadcast ranking", fmtCount(res.HonestMessages), fmtCount(res.OversizeMessages),
-		fmt.Sprintf("%d", res.MaxMessageBits))
-
 	t.Note("zero oversize messages for both of the paper's algorithms: every message fits O(log N) bits (CONGEST for N=poly(n)); the baselines' Ω(n)- and Ω(t·λ)-bit messages cannot")
 	return t, nil
 }
@@ -756,24 +857,33 @@ func E8cCongest(cfg Config) (*Table, error) {
 func A3ElectionConstant(cfg Config) (*Table, error) {
 	n := cfg.pick(96, 192)
 	seeds := cfg.pick(6, 15)
+	scales := []float64{0.002, 0.005, 0.01, 0.05, 0.2, 1}
+	var points []runner.Point
+	for _, scale := range scales {
+		for seed := 0; seed < seeds; seed++ {
+			points = append(points, crashPoint("a3", fmt.Sprintf("scale=%.3f/seed=%d", scale, seed), n,
+				renaming.CrashSpec{Seed: cfg.runSeed(int64(seed)), CommitteeScale: scale,
+					Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller,
+						Budget: n / 2, MidSend: true}},
+				intParams("n", n, "scale", scale)))
+		}
+	}
+	recs, err := cfg.sweep(points)
+	if err != nil {
+		return nil, err
+	}
+
 	t := NewTable("A3", fmt.Sprintf("ablation: election constant vs reliability at n=%d (killer adversary)", n),
 		"scale (×256)", "expected committee", "success rate", "avg messages")
-	for _, scale := range []float64{0.002, 0.005, 0.01, 0.05, 0.2, 1} {
+	for si, scale := range scales {
 		successes := 0
 		var msgs int64
 		for seed := 0; seed < seeds; seed++ {
-			res, err := renaming.RunCrash(n, renaming.CrashSpec{
-				Seed: int64(seed), CommitteeScale: scale,
-				Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller,
-					Budget: n / 2, MidSend: true},
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Unique {
+			m := recs[si*seeds+seed].Metrics
+			if m.Unique {
 				successes++
 			}
-			msgs += res.Messages
+			msgs += m.Messages
 		}
 		expected := 256 * scale * log2(n)
 		if expected > float64(n) {

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"renaming"
+	"renaming/internal/runner"
+	"renaming/internal/sim"
+)
+
+// Config selects experiment scale and how each sweep executes. Quick
+// shrinks sweeps so the whole suite runs in seconds (used by `go
+// test`); the full scale backs the numbers in EXPERIMENTS.md. The
+// remaining fields configure the worker-pool runner every experiment's
+// points fan out on (see internal/runner and docs/OBSERVABILITY.md).
+type Config struct {
+	Quick bool
+	// Workers caps concurrent sweep points; <=0 means GOMAXPROCS.
+	// Tables are byte-identical at any worker count: every point's seed
+	// is fixed before execution and records flush in point order.
+	Workers int
+	// SweepSeed, when non-zero, remixes every point's canonical seed,
+	// rerunning the whole suite in a fresh seed universe. Zero keeps
+	// the canonical per-point seeds recorded in EXPERIMENTS.md.
+	SweepSeed int64
+	// Sinks receive one telemetry record per sweep point (JSONL, CSV,
+	// progress line, …).
+	Sinks []runner.Sink
+	// Resume replays points already present in a previously-recorded
+	// artifact instead of executing them.
+	Resume *runner.Artifact
+}
+
+func (c Config) pick(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// runSeed maps an experiment's canonical point seed into the configured
+// sweep-seed universe. With SweepSeed == 0 the canonical seed is used
+// as-is, reproducing the recorded tables bit-for-bit.
+func (c Config) runSeed(canonical int64) int64 {
+	if c.SweepSeed == 0 {
+		return canonical
+	}
+	return sim.DeriveSeed(c.SweepSeed, uint64(canonical))
+}
+
+// sweep fans the points across the worker pool and returns their
+// records in point order, surfacing the first point failure as an
+// error.
+func (c Config) sweep(points []runner.Point) ([]runner.Record, error) {
+	records, err := runner.Run(points, runner.Options{
+		Workers:   c.Workers,
+		SweepSeed: c.SweepSeed,
+		Sinks:     c.Sinks,
+		Resume:    c.Resume,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range records {
+		if rec.Err != "" {
+			return nil, fmt.Errorf("%s point %d (%s): %s",
+				rec.Experiment, rec.Index, rec.Name, rec.Err)
+		}
+	}
+	return records, nil
+}
+
+// crashPoint wraps one RunCrash execution as a sweep point. The spec's
+// Seed is the canonical seed; the runner passes the resolved seed back
+// into the closure so -seed remixes reach the simulator.
+func crashPoint(exp, name string, n int, spec renaming.CrashSpec, params map[string]string) runner.Point {
+	return runner.Point{
+		Experiment: exp, Name: name, Seed: spec.Seed, FixedSeed: true, Params: params,
+		Run: func(seed int64) (runner.Metrics, error) {
+			s := spec
+			s.Seed = seed
+			s.Profile = true
+			res, err := renaming.RunCrash(n, s)
+			if err != nil {
+				return runner.Metrics{}, err
+			}
+			return runner.FromResult(res, n), nil
+		},
+	}
+}
+
+// byzPoint wraps a RunByzantine execution (retrying over derived seeds
+// until the committee assumption holds, when attempts > 1).
+func byzPoint(exp, name string, n, attempts int, spec renaming.ByzSpec, params map[string]string) runner.Point {
+	return runner.Point{
+		Experiment: exp, Name: name, Seed: spec.Seed, FixedSeed: true, Params: params,
+		Run: func(seed int64) (runner.Metrics, error) {
+			s := spec
+			s.Seed = seed
+			s.Profile = true
+			res, err := runByzWithAssumption(n, s, attempts)
+			if err != nil {
+				return runner.Metrics{}, err
+			}
+			return runner.FromResult(res, n), nil
+		},
+	}
+}
+
+// baselinePoint wraps one RunBaseline execution as a sweep point.
+func baselinePoint(exp, name string, n int, spec renaming.BaselineSpec, params map[string]string) runner.Point {
+	return runner.Point{
+		Experiment: exp, Name: name, Seed: spec.Seed, FixedSeed: true, Params: params,
+		Run: func(seed int64) (runner.Metrics, error) {
+			s := spec
+			s.Seed = seed
+			res, err := renaming.RunBaseline(n, s)
+			if err != nil {
+				return runner.Metrics{}, err
+			}
+			return runner.FromResult(res, n), nil
+		},
+	}
+}
+
+// funcPoint wraps an arbitrary seed-deterministic measurement (the
+// lower-bound Monte-Carlos) as a sweep point; fn reports its scalars
+// through Metrics.Extra.
+func funcPoint(exp, name string, seed int64, params map[string]string,
+	fn func(seed int64) (runner.Metrics, error)) runner.Point {
+	return runner.Point{
+		Experiment: exp, Name: name, Seed: seed, FixedSeed: true, Params: params,
+		Run: fn,
+	}
+}
+
+func intParams(pairs ...any) map[string]string {
+	params := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		params[fmt.Sprint(pairs[i])] = fmt.Sprint(pairs[i+1])
+	}
+	return params
+}

@@ -10,12 +10,16 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"renaming/internal/plot"
 )
 
 // Table is one experiment's formatted output. Charts carries the sweep's
 // figure renderings (written as SVG by cmd/benchtables -svgdir).
+// Elapsed and SweepSeed are provenance for the run that produced the
+// table (printed by cmd/benchtables, never rendered into the table text,
+// so table output stays deterministic).
 type Table struct {
 	ID     string
 	Title  string
@@ -23,6 +27,9 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Charts []plot.Chart
+
+	Elapsed   time.Duration
+	SweepSeed int64
 }
 
 // NewTable creates a table with the given id, title, and column header.

@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sink receives one record per completed point, in point order.
+type Sink interface {
+	Write(rec Record) error
+}
+
+// sweepStarter is an optional Sink extension notified when a sweep
+// starts, with the experiment id and the total point count.
+type sweepStarter interface {
+	StartSweep(experiment string, points int)
+}
+
+// JSONLSink writes one JSON object per line — the sweep artifact format
+// documented in docs/OBSERVABILITY.md and consumed by LoadArtifact.
+type JSONLSink struct {
+	W io.Writer
+	// OmitVolatile zeroes the wall-clock and allocation fields before
+	// encoding, making artifacts byte-comparable across runs and worker
+	// counts (used by the determinism tests).
+	OmitVolatile bool
+}
+
+// Write encodes rec as one JSON line.
+func (s *JSONLSink) Write(rec Record) error {
+	if s.OmitVolatile {
+		rec.WallClockMS = 0
+		rec.AllocBytes = 0
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = s.W.Write(data)
+	return err
+}
+
+// csvHeader is the fixed CSV column set. Per-kind breakdowns, trace
+// profiles, and extra scalars live only in the JSONL artifact.
+var csvHeader = []string{
+	"experiment", "index", "name", "seed", "params",
+	"rounds", "messages", "bits", "honestMessages", "honestBits",
+	"maxMessageBits", "maxNodeSent", "maxNodeReceived", "oversizeMessages",
+	"crashes", "byzantine", "committeeSize", "iterations",
+	"unique", "orderPreserving", "assumptionHolds", "loadSkew",
+	"wallClockMs", "allocBytes", "resumed", "err",
+}
+
+// CSVSink writes records as CSV rows with a fixed column set.
+type CSVSink struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSVSink returns a CSV sink over w; the header row is written with
+// the first record.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Write appends one CSV row (plus the header on first use).
+func (s *CSVSink) Write(rec Record) error {
+	if !s.header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	m := rec.Metrics
+	row := []string{
+		rec.Experiment, strconv.Itoa(rec.Index), rec.Name,
+		strconv.FormatInt(rec.Seed, 10), canonicalParams(rec.Params),
+		strconv.Itoa(m.Rounds), strconv.FormatInt(m.Messages, 10),
+		strconv.FormatInt(m.Bits, 10), strconv.FormatInt(m.HonestMessages, 10),
+		strconv.FormatInt(m.HonestBits, 10), strconv.Itoa(m.MaxMessageBits),
+		strconv.FormatInt(m.MaxNodeSent, 10), strconv.FormatInt(m.MaxNodeReceived, 10),
+		strconv.FormatInt(m.OversizeMessages, 10),
+		strconv.Itoa(m.Crashes), strconv.Itoa(m.Byzantine),
+		strconv.Itoa(m.CommitteeSize), strconv.Itoa(m.Iterations),
+		strconv.FormatBool(m.Unique), strconv.FormatBool(m.OrderPreserving),
+		strconv.FormatBool(m.AssumptionHolds),
+		strconv.FormatFloat(m.LoadSkew, 'g', -1, 64),
+		strconv.FormatFloat(rec.WallClockMS, 'g', -1, 64),
+		strconv.FormatUint(rec.AllocBytes, 10),
+		strconv.FormatBool(rec.Resumed), rec.Err,
+	}
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// ProgressSink renders a live one-line progress display (carriage-
+// return overwrite) as points complete, finishing with a summary line.
+type ProgressSink struct {
+	W          io.Writer
+	experiment string
+	total      int
+	done       int
+	start      time.Time
+}
+
+// StartSweep resets the counter for a new sweep.
+func (p *ProgressSink) StartSweep(experiment string, points int) {
+	p.experiment, p.total, p.done = experiment, points, 0
+	p.start = time.Now()
+}
+
+// Write advances the progress line.
+func (p *ProgressSink) Write(rec Record) error {
+	p.done++
+	elapsed := time.Since(p.start).Round(time.Millisecond)
+	if p.done >= p.total {
+		_, err := fmt.Fprintf(p.W, "\r[%s] %d/%d points in %s\n",
+			p.experiment, p.done, p.total, elapsed)
+		return err
+	}
+	_, err := fmt.Fprintf(p.W, "\r[%s] %d/%d points (%s, last: %s)…",
+		p.experiment, p.done, p.total, elapsed, rec.Name)
+	return err
+}
+
+// Artifact is a previously-recorded sweep loaded for -resume: points
+// whose identity (experiment, index, name, seed, params) matches a
+// successful record are replayed instead of executed.
+type Artifact struct {
+	records map[string]Record
+}
+
+// LoadArtifact parses a JSONL artifact written by JSONLSink. Lines that
+// fail to parse are an error; records carrying a point failure are kept
+// out of the resume set so failed points re-execute.
+func LoadArtifact(r io.Reader) (*Artifact, error) {
+	art := &Artifact{records: make(map[string]Record)}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("runner: artifact line %d: %w", line, err)
+		}
+		if rec.Err != "" {
+			continue
+		}
+		art.records[recordKey(rec)] = rec
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// Len reports how many completed points the artifact holds.
+func (a *Artifact) Len() int { return len(a.records) }
+
+// Lookup returns the stored record matching the (not yet executed)
+// record's identity.
+func (a *Artifact) Lookup(rec Record) (Record, bool) {
+	prev, ok := a.records[recordKey(rec)]
+	return prev, ok
+}
+
+func recordKey(rec Record) string {
+	return strings.Join([]string{
+		rec.Experiment, strconv.Itoa(rec.Index), rec.Name,
+		strconv.FormatInt(rec.Seed, 10), canonicalParams(rec.Params),
+	}, "\x00")
+}
+
+func canonicalParams(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+params[k])
+	}
+	return strings.Join(parts, ";")
+}

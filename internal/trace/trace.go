@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"renaming/internal/sim"
+	"renaming/internal/stats"
 )
 
 // RoundSummary aggregates one round's delivered traffic.
@@ -59,6 +60,41 @@ func (r *Recorder) BusiestRound() (RoundSummary, bool) {
 		}
 	}
 	return best, true
+}
+
+// Summary condenses a recording into the per-round traffic profile the
+// experiment runner embeds in its telemetry records: round count,
+// busiest round, and the mean/stddev message volume per round.
+type Summary struct {
+	Rounds          int
+	BusiestRound    int
+	BusiestMessages int
+	PeakBits        int
+	MeanMessages    float64
+	StddevMessages  float64
+}
+
+// Summary computes the recording's traffic profile.
+func (r *Recorder) Summary() Summary {
+	if len(r.rounds) == 0 {
+		return Summary{}
+	}
+	msgs := make([]float64, len(r.rounds))
+	out := Summary{Rounds: len(r.rounds), BusiestRound: r.rounds[0].Round}
+	for i, s := range r.rounds {
+		msgs[i] = float64(s.Messages)
+		if s.Messages > out.BusiestMessages {
+			out.BusiestMessages = s.Messages
+			out.BusiestRound = s.Round
+		}
+		if s.Bits > out.PeakBits {
+			out.PeakBits = s.Bits
+		}
+	}
+	sum := stats.Summarize(msgs)
+	out.MeanMessages = sum.Mean
+	out.StddevMessages = sum.Stddev
+	return out
 }
 
 // WriteTimeline renders a compact per-round table to w, eliding quiet

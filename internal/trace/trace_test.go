@@ -86,3 +86,26 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("rows = %q, %q", lines[1], lines[2])
 	}
 }
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	if s := r.Summary(); s != (Summary{}) {
+		t.Fatalf("empty recorder summary = %+v", s)
+	}
+	r.Observe(0, msgs("a", "a"))
+	r.Observe(1, nil)
+	r.Observe(2, msgs("b", "b", "b", "b"))
+	s := r.Summary()
+	if s.Rounds != 3 || s.BusiestRound != 2 || s.BusiestMessages != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.PeakBits != 16 {
+		t.Fatalf("peak bits = %d", s.PeakBits)
+	}
+	if s.MeanMessages != 2 {
+		t.Fatalf("mean = %v", s.MeanMessages)
+	}
+	if s.StddevMessages <= 0 {
+		t.Fatalf("stddev = %v", s.StddevMessages)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"renaming/internal/sim"
+	"renaming/internal/trace"
 )
 
 // Result summarizes one renaming execution.
@@ -75,6 +76,27 @@ type Result struct {
 	// satisfied the paper's requirement (fewer than one third Byzantine
 	// members); when false the run is outside the guarantee envelope.
 	AssumptionHolds bool
+
+	// RoundStats is the per-round traffic profile; populated only when
+	// the spec asked for it (Profile, or a non-nil Trace writer).
+	RoundStats *RoundStats
+}
+
+// RoundStats summarizes the per-round traffic profile of a run — the
+// telemetry the experiment runner records so a sweep artifact carries
+// the traffic shape, not just the totals.
+type RoundStats struct {
+	// Rounds is the number of rounds that delivered any state.
+	Rounds int `json:"rounds"`
+	// BusiestRound and BusiestMessages locate the traffic peak.
+	BusiestRound    int `json:"busiestRound"`
+	BusiestMessages int `json:"busiestMessages"`
+	// PeakBits is the largest per-round bit volume.
+	PeakBits int `json:"peakBits"`
+	// MeanMessages and StddevMessages describe the per-round message
+	// distribution.
+	MeanMessages   float64 `json:"meanMessages"`
+	StddevMessages float64 `json:"stddevMessages"`
 }
 
 // fill computes Unique/OrderPreserving from the decided identities.
@@ -100,6 +122,19 @@ func (r *Result) fill(ids []int) {
 		if pairs[i].newID <= pairs[i-1].newID {
 			r.OrderPreserving = false
 		}
+	}
+}
+
+// roundStatsFrom converts a trace recording into the Result profile.
+func roundStatsFrom(rec *trace.Recorder) *RoundStats {
+	s := rec.Summary()
+	return &RoundStats{
+		Rounds:          s.Rounds,
+		BusiestRound:    s.BusiestRound,
+		BusiestMessages: s.BusiestMessages,
+		PeakBits:        s.PeakBits,
+		MeanMessages:    s.MeanMessages,
+		StddevMessages:  s.StddevMessages,
 	}
 }
 

@@ -79,6 +79,10 @@ type ByzSpec struct {
 	// Trace, when non-nil, receives a per-round traffic timeline after
 	// the run.
 	Trace io.Writer
+	// Profile records the per-round traffic profile into
+	// Result.RoundStats without a timeline writer (used by the
+	// experiment runner's telemetry records).
+	Profile bool
 	// CongestLimit, when positive, flags honest messages above this many
 	// bits in Result.OversizeMessages (CONGEST-model check).
 	CongestLimit int
@@ -139,7 +143,7 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 		opts = append(opts, sim.WithRushing(rushLinks))
 	}
 	var recorder *trace.Recorder
-	if spec.Trace != nil {
+	if spec.Trace != nil || spec.Profile {
 		recorder = trace.NewRecorder()
 		opts = append(opts, sim.WithObserver(recorder.Observe))
 	}
@@ -150,7 +154,7 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 	if err := nw.Run(byzRoundBudget(cfg, len(byzLinks))); err != nil {
 		return nil, fmt.Errorf("byzantine renaming: %w", err)
 	}
-	if recorder != nil {
+	if recorder != nil && spec.Trace != nil {
 		if err := recorder.WriteTimeline(spec.Trace); err != nil {
 			return nil, fmt.Errorf("write trace: %w", err)
 		}
@@ -159,6 +163,9 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 	res := &Result{
 		NewIDByLink: make([]int, n),
 		Byzantine:   len(byzLinks),
+	}
+	if recorder != nil {
+		res.RoundStats = roundStatsFrom(recorder)
 	}
 	byzInCommittee := 0
 	for i := 0; i < n; i++ {

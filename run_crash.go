@@ -89,6 +89,10 @@ type CrashSpec struct {
 	// Trace, when non-nil, receives a per-round traffic timeline after
 	// the run.
 	Trace io.Writer
+	// Profile records the per-round traffic profile into
+	// Result.RoundStats without a timeline writer (used by the
+	// experiment runner's telemetry records).
+	Profile bool
 	// CongestLimit, when positive, flags honest messages above this many
 	// bits in Result.OversizeMessages (CONGEST-model check).
 	CongestLimit int
@@ -131,7 +135,7 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 		sim.WithPeek(func(i int) any { return nodes[i].Peek() }),
 	}
 	var recorder *trace.Recorder
-	if spec.Trace != nil {
+	if spec.Trace != nil || spec.Profile {
 		recorder = trace.NewRecorder()
 		opts = append(opts, sim.WithObserver(recorder.Observe))
 	}
@@ -142,7 +146,7 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 	if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
 		return nil, fmt.Errorf("crash renaming: %w", err)
 	}
-	if recorder != nil {
+	if recorder != nil && spec.Trace != nil {
 		if err := recorder.WriteTimeline(spec.Trace); err != nil {
 			return nil, fmt.Errorf("write trace: %w", err)
 		}
@@ -165,6 +169,9 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 		}
 	}
 	fillMetrics(res, nw)
+	if recorder != nil {
+		res.RoundStats = roundStatsFrom(recorder)
+	}
 	res.fill(spec.IDs)
 	res.AssumptionHolds = nw.AliveCount() > 0
 	// A surviving undecided node is a correctness failure.
