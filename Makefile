@@ -6,11 +6,14 @@ GO ?= go
 
 all: build test
 
-# What .github/workflows/ci.yml runs on every push/PR.
+# What .github/workflows/ci.yml runs on every push/PR (staticcheck runs
+# there too, when installed locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
 ci:
 	$(GO) vet ./...
+	command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed, skipping"
 	$(GO) build ./...
 	$(GO) test ./... -short -race
+	$(GO) test -run '^$$' -bench StepRound -benchtime 1x ./internal/sim
 
 build:
 	$(GO) build ./...

@@ -13,6 +13,7 @@
 //
 //	benchtables                 # run everything at full scale
 //	benchtables -quick          # run everything at reduced scale
+//	benchtables -full           # also run the 16384/32768-node points
 //	benchtables -experiment e3  # run a single experiment by id
 //	benchtables -workers 8      # fan sweep points across 8 workers
 //	benchtables -out run.jsonl  # telemetry artifact path ("" disables)
@@ -44,6 +45,7 @@ func main() {
 
 func run() error {
 	quick := flag.Bool("quick", false, "reduced sweep sizes (seconds instead of minutes)")
+	full := flag.Bool("full", false, "unlock the 16384/32768-node scaling points (minutes; ignored with -quick)")
 	experiment := flag.String("experiment", "", "run a single experiment id (e1 e2 e3 e3n e4 e5 e5n e6 e7 e8 e8c a1 a2 a3)")
 	markdown := flag.Bool("markdown", false, "render tables as Markdown (for EXPERIMENTS.md)")
 	svgDir := flag.String("svgdir", "", "also write each experiment's figures as SVG into this directory")
@@ -56,6 +58,7 @@ func run() error {
 
 	cfg := experiments.Config{
 		Quick:     *quick,
+		Full:      *full,
 		Workers:   *workers,
 		SweepSeed: *seed,
 	}

@@ -46,6 +46,13 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	if *f < 0 || *f >= *n {
+		return fmt.Errorf("-f must satisfy 0 <= f < n, got f=%d n=%d", *f, *n)
+	}
+
 	faultSpec := renaming.FaultSpec{Kind: renaming.FaultNone}
 	switch *fault {
 	case "none":
@@ -81,13 +88,17 @@ func run() error {
 			return renaming.RunCrash(*n, spec)
 		}
 	case "byzantine":
-		byz := make(map[int]renaming.Behavior, *f)
 		b, berr := parseBehavior(*behavior)
 		if berr != nil {
 			return berr
 		}
-		for i := 0; i < *f; i++ {
-			byz[(3*i+1)%*n] = b
+		links, lerr := renaming.AdversaryLinks(*n, *f)
+		if lerr != nil {
+			return lerr
+		}
+		byz := make(map[int]renaming.Behavior, *f)
+		for _, link := range links {
+			byz[link] = b
 		}
 		exec = func(seed int64) (*renaming.Result, error) {
 			spec := renaming.ByzSpec{
@@ -112,9 +123,9 @@ func run() error {
 			})
 		}
 	case "baseline-byz":
-		links := make([]int, 0, *f)
-		for i := 0; i < *f; i++ {
-			links = append(links, (3*i+1)%*n)
+		links, lerr := renaming.AdversaryLinks(*n, *f)
+		if lerr != nil {
+			return lerr
 		}
 		exec = func(seed int64) (*renaming.Result, error) {
 			return renaming.RunBaseline(*n, renaming.BaselineSpec{

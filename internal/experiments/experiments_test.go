@@ -64,10 +64,10 @@ func TestTableMarkdown(t *testing.T) {
 }
 
 func TestHelpers(t *testing.T) {
-	if got := splitWorldSet(3); len(got) != 3 {
-		t.Fatalf("splitWorldSet(3) = %v", got)
+	if got := splitWorldSet(64, 3); len(got) != 3 {
+		t.Fatalf("splitWorldSet(64, 3) = %v", got)
 	}
-	for link := range splitWorldSet(3) {
+	for link := range splitWorldSet(64, 3) {
 		if link%3 != 1 {
 			t.Fatalf("unexpected link %d", link)
 		}

@@ -15,6 +15,10 @@ import (
 // points fan out on (see internal/runner and docs/OBSERVABILITY.md).
 type Config struct {
 	Quick bool
+	// Full unlocks the 16384/32768-node scaling points of the E-series
+	// (minutes of wall-clock; the sharded round engine makes them
+	// feasible at all). Ignored when Quick is set.
+	Full bool
 	// Workers caps concurrent sweep points; <=0 means GOMAXPROCS.
 	// Tables are byte-identical at any worker count: every point's seed
 	// is fixed before execution and records flush in point order.

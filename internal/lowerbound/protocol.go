@@ -131,6 +131,7 @@ func RunProtocol(n int, prob float64, seed int64) (ProtocolOutcome, error) {
 		simNodes[i] = nodes[i]
 	}
 	nw := sim.NewNetwork(simNodes)
+	defer nw.Close()
 	if err := nw.Run(4); err != nil {
 		return ProtocolOutcome{}, err
 	}

@@ -64,9 +64,12 @@ type Metrics struct {
 	Byzantine        int              `json:"byzantine,omitempty"`
 	CommitteeSize    int              `json:"committeeSize,omitempty"`
 	Iterations       int              `json:"iterations,omitempty"`
-	Unique           bool             `json:"unique,omitempty"`
-	OrderPreserving  bool             `json:"orderPreserving,omitempty"`
-	AssumptionHolds  bool             `json:"assumptionHolds,omitempty"`
+	// The three guarantee booleans are never omitted: a run that violates
+	// a guarantee (e.g. unique=false) is precisely the record an artifact
+	// reader must be able to distinguish from "not measured".
+	Unique          bool `json:"unique"`
+	OrderPreserving bool `json:"orderPreserving"`
+	AssumptionHolds bool `json:"assumptionHolds"`
 	// LoadSkew is MaxNodeSent divided by the mean per-node send count —
 	// the committee-vs-plain-node asymmetry of both algorithms.
 	LoadSkew float64 `json:"loadSkew,omitempty"`
@@ -171,6 +174,7 @@ func Run(points []Point, opts Options) ([]Record, error) {
 	}
 
 	jobs := make(chan int)
+	stop := make(chan struct{})
 	done := make(chan int, len(points))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -184,16 +188,28 @@ func Run(points []Point, opts Options) ([]Record, error) {
 		}()
 	}
 	go func() {
+		defer func() {
+			close(jobs)
+			wg.Wait()
+			close(done)
+		}()
 		for i := range points {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-stop:
+				// A sink failed: the artifact is already broken, so
+				// executing the remaining points would only burn time to
+				// produce records nobody can persist. Stop scheduling;
+				// in-flight points drain normally.
+				return
+			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(done)
 	}()
 
 	// Flush completed records to the sinks in point order, so the
-	// artifact layout never depends on scheduling.
+	// artifact layout never depends on scheduling. The first sink failure
+	// stops both flushing and scheduling, and the returned error names
+	// how many records made it out intact.
 	var sinkErr error
 	ready := make([]bool, len(points))
 	flushed := 0
@@ -201,7 +217,10 @@ func Run(points []Point, opts Options) ([]Record, error) {
 		ready[idx] = true
 		for flushed < len(points) && ready[flushed] {
 			if sinkErr == nil {
-				sinkErr = writeSinks(opts.Sinks, records[flushed])
+				if err := writeSinks(opts.Sinks, records[flushed]); err != nil {
+					sinkErr = fmt.Errorf("runner: sink failed after %d records flushed: %w", flushed, err)
+					close(stop)
+				}
 			}
 			flushed++
 		}
@@ -212,7 +231,7 @@ func Run(points []Point, opts Options) ([]Record, error) {
 func writeSinks(sinks []Sink, rec Record) error {
 	for _, sink := range sinks {
 		if err := sink.Write(rec); err != nil {
-			return fmt.Errorf("runner: sink: %w", err)
+			return err
 		}
 	}
 	return nil

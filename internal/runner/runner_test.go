@@ -276,6 +276,83 @@ func TestProgressSink(t *testing.T) {
 	}
 }
 
+// TestGuaranteeBooleansAlwaysPresent: the guarantee booleans serialize
+// even when false — a run that *violates* strong renaming must be
+// distinguishable in the artifact from a run that never measured it.
+func TestGuaranteeBooleansAlwaysPresent(t *testing.T) {
+	points := []Point{{
+		Experiment: "g", Name: "violating", Seed: 5, FixedSeed: true,
+		Run: func(int64) (Metrics, error) { return Metrics{Rounds: 1}, nil },
+	}}
+	var buf bytes.Buffer
+	if _, err := Run(points, Options{Workers: 1, Sinks: []Sink{&JSONLSink{W: &buf}}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"unique":false`, `"orderPreserving":false`, `"assumptionHolds":false`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSONL record missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// failingSink accepts failAt writes, then fails every one after,
+// signalling the first failure on onFail.
+type failingSink struct {
+	writes, failAt int
+	onFail         chan struct{}
+}
+
+func (s *failingSink) Write(Record) error {
+	s.writes++
+	if s.writes > s.failAt {
+		if s.onFail != nil {
+			close(s.onFail)
+			s.onFail = nil
+		}
+		return fmt.Errorf("disk full")
+	}
+	return nil
+}
+
+// TestSinkFailureStopsScheduling pins the sink-failure contract: once a
+// sink write fails the artifact is broken, so the runner must stop
+// scheduling new points (instead of silently burning through the rest of
+// the sweep producing records nobody can persist) and the returned error
+// must name how many records were flushed intact.
+func TestSinkFailureStopsScheduling(t *testing.T) {
+	const total, failAt = 30, 3
+	sinkFailed := make(chan struct{})
+	var calls atomic.Int64
+	points := syntheticPoints(total, &calls)
+	for i := failAt + 1; i < total; i++ {
+		// Later points park until the sink has actually failed, so the
+		// runner's reaction — not scheduling luck — decides how many run.
+		inner := points[i].Run
+		points[i].Run = func(seed int64) (Metrics, error) {
+			<-sinkFailed
+			return inner(seed)
+		}
+	}
+	_, err := Run(points, Options{
+		Workers: 1,
+		Sinks:   []Sink{&failingSink{failAt: failAt, onFail: sinkFailed}},
+	})
+	if err == nil {
+		t.Fatal("Run succeeded despite a failing sink")
+	}
+	if !strings.Contains(err.Error(), "sink failed after 3 records flushed") {
+		t.Fatalf("error does not name the flushed-record count: %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error does not wrap the sink failure: %v", err)
+	}
+	// Writes fail from record 3 on. By then the single worker has at most
+	// one further point in flight; everything beyond must never start.
+	if got := calls.Load(); got > failAt+2 {
+		t.Fatalf("executed %d of %d points after the sink failure, want scheduling stopped", got, total)
+	}
+}
+
 // TestWorkersCapped: worker count never exceeds the point count, and
 // Workers<=0 still executes everything.
 func TestWorkersCapped(t *testing.T) {

@@ -5,6 +5,9 @@ package sim
 // up to the current moment to decide which nodes crash. The view exposes
 // liveness, the current round, and read-only access to node state via the
 // Peek callback installed by the harness.
+//
+// The Alive and Inboxes slices are scratch buffers the engine reuses
+// between rounds: inspect them during Crashes, do not retain them.
 type View struct {
 	// Round is the round about to execute (0-based).
 	Round int

@@ -1,40 +1,102 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
-// BenchmarkRound measures the simulator's per-round cost at an all-to-all
-// communication load — the framework overhead underneath every
-// experiment.
-func BenchmarkRound(b *testing.B) {
-	for _, n := range []int{64, 256} {
-		b.Run(nName(n), func(b *testing.B) {
-			nodes := make([]Node, n)
-			for i := range nodes {
-				nodes[i] = &chatterNode{idx: i, n: n}
-			}
-			nw := NewNetwork(nodes)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				nw.StepRound()
-			}
-			b.ReportMetric(float64(nw.Metrics().Messages)/float64(b.N), "msgs/round")
+// BenchmarkStepRound measures the engine's per-round cost — the framework
+// overhead underneath every experiment — across the two traffic shapes
+// the algorithms produce: "dense" is the all-to-all load of the
+// baselines (Θ(n²) messages per round), "sparse" is the committee-style
+// load of the paper's algorithms (Θ(n·log n) messages per round). The CI
+// smoke job runs this at -benchtime 1x to catch engine regressions.
+func BenchmarkStepRound(b *testing.B) {
+	dense := []int{64, 256, 1024, 4096}
+	sparse := []int{1024, 4096, 32768}
+	for _, n := range dense {
+		n := n
+		b.Run(fmt.Sprintf("dense/n=%d", n), func(b *testing.B) {
+			benchRounds(b, chatterNodes(n))
+		})
+	}
+	for _, n := range sparse {
+		n := n
+		b.Run(fmt.Sprintf("sparse/n=%d", n), func(b *testing.B) {
+			benchRounds(b, sparseNodes(n))
 		})
 	}
 }
 
-func nName(n int) string {
-	if n == 64 {
-		return "n=64"
+func benchRounds(b *testing.B, nodes []Node) {
+	nw := NewNetwork(nodes)
+	defer nw.Close()
+	// Warm two rounds so both halves of the engine's double-buffered
+	// inboxes have grown to steady-state capacity — after that, the
+	// allocation counter sees only genuine per-round costs.
+	nw.StepRound()
+	nw.StepRound()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.StepRound()
 	}
-	return "n=256"
+	b.ReportMetric(float64(nw.Metrics().Messages)/float64(nw.Round()), "msgs/round")
 }
 
-// chatterNode broadcasts every round forever.
-type chatterNode struct{ idx, n int }
+func chatterNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &chatterNode{idx: i, n: n}
+	}
+	return nodes
+}
+
+// chatterNode broadcasts every round forever, reusing its outbox buffer
+// (the engine does not retain outboxes past the round — see Node).
+type chatterNode struct {
+	idx, n int
+	out    Outbox
+}
 
 func (c *chatterNode) Step(round int, inbox []Message) Outbox {
-	return Broadcast(c.idx, c.n, pingPayload{size: 32})
+	if c.out == nil {
+		c.out = Broadcast(c.idx, c.n, pingPayload{size: 32})
+	}
+	return c.out
 }
 func (c *chatterNode) Output() (int, bool) { return 0, false }
 func (c *chatterNode) Halted() bool        { return false }
+
+func sparseNodes(n int) []Node {
+	fanout := 1
+	for v := n - 1; v > 0; v >>= 1 {
+		fanout++
+	}
+	fanout *= 2 // ~2·log2 n peers, the committee-style load
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &sparseNode{idx: i, n: n, fanout: fanout}
+	}
+	return nodes
+}
+
+// sparseNode multicasts to a deterministic stride of ~2·log2 n peers,
+// reusing its outbox buffer across rounds.
+type sparseNode struct {
+	idx, n, fanout int
+	out            Outbox
+}
+
+func (s *sparseNode) Step(round int, inbox []Message) Outbox {
+	if s.out == nil {
+		s.out = make(Outbox, 0, s.fanout)
+		for k := 0; k < s.fanout; k++ {
+			to := (s.idx + 1 + k*(s.n/s.fanout+1)) % s.n
+			s.out = append(s.out, Message{From: s.idx, To: to, Payload: pingPayload{size: 32}})
+		}
+	}
+	return s.out
+}
+func (s *sparseNode) Output() (int, bool) { return 0, false }
+func (s *sparseNode) Halted() bool        { return false }

@@ -1,0 +1,529 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// engine is the round engine behind Network: a persistent, sharded worker
+// pool that steps nodes in-place and routes messages through reusable
+// per-node inboxes. It is built for the scaling sweeps (n = 16384/32768):
+// the per-round cost is O(messages) with near-zero allocations, no
+// per-node goroutines, and no sorting.
+//
+// A round runs in four phases, each executed shard-parallel behind a
+// barrier:
+//
+//	step     every shard steps its alive (non-rushing) nodes in-place;
+//	         the coordinator then steps rushing nodes (wave 2) and
+//	         evaluates mid-send crash filters sequentially, so stateful
+//	         filters consume shared randomness in the exact order the
+//	         sequential engine did;
+//	count    every shard walks its nodes' outboxes, bumping a per-worker
+//	         × per-recipient counter and accumulating metrics into a
+//	         per-shard accumulator (lock-free: shards touch disjoint
+//	         cells);
+//	deliver  every shard turns the counters for *its recipients* into
+//	         exclusive prefix offsets and resizes the reusable inbox
+//	         buffers — a counting sort by sender, exploiting that worker
+//	         w's senders all precede worker w+1's;
+//	scatter  every shard writes its surviving messages into the
+//	         recipients' inboxes at the precomputed offsets.
+//
+// Because offsets are assigned in (worker, sender, emission) order, every
+// inbox comes out sorted by sender link with per-sender emission order
+// preserved — byte-identical to the previous engine's append-then-stable-
+// sort delivery, at every worker count.
+type engine struct {
+	nodes   []Node
+	alive   []bool
+	adv     CrashAdversary
+	metrics *Metrics
+	peek    func(node int) any
+
+	// crashedAt remembers the round each node crashed in, -1 if alive.
+	crashedAt []int
+	byzantine []bool
+	rushing   []bool
+	rushList  []int // indices with rushing set, ascending (frozen at setup)
+	round     int
+	observer  func(round int, delivered []Message)
+
+	// Worker pool. workers is the resolved shard count P; worker 0 is the
+	// coordinator (the StepRound caller), workers 1..P-1 are long-lived
+	// goroutines parked on their cmd channel between phases.
+	reqWorkers int // WithEngineWorkers override; 0 = GOMAXPROCS
+	workers    int
+	shardLo    []int
+	shardHi    []int
+	started    bool
+	closed     bool
+	cmd        []chan int
+	ack        chan struct{}
+	panics     []any
+
+	// Per-round state, all reused across rounds.
+	inboxes [][]Message // delivered this round, per recipient
+	nextInb [][]Message // being filled for next round
+	outs    []Outbox    // per sender: this round's outbox (nil if idle)
+	acted   []bool      // per sender: stepped this round
+	counts  [][]int32   // per worker × recipient: count, then offset
+	shards  []metricShard
+
+	aliveView   []bool
+	filters     map[int]SendFilter
+	filterOrder []int
+	keepFor     map[int][]bool // per filtered sender: per-message verdict
+	keepPool    [][]bool
+	previews    map[int][]Message
+	rushInbox   []Message
+	delivered   []Message
+}
+
+// Phase identifiers dispatched to the worker pool.
+const (
+	phStep = iota
+	phCount
+	phDeliver
+	phScatter
+)
+
+func newEngine(nodes []Node) *engine {
+	n := len(nodes)
+	e := &engine{
+		nodes:     nodes,
+		alive:     make([]bool, n),
+		adv:       NoCrashes{},
+		metrics:   NewMetrics(),
+		crashedAt: make([]int, n),
+		byzantine: make([]bool, n),
+		rushing:   make([]bool, n),
+		inboxes:   make([][]Message, n),
+		nextInb:   make([][]Message, n),
+		outs:      make([]Outbox, n),
+		acted:     make([]bool, n),
+		aliveView: make([]bool, n),
+		filters:   make(map[int]SendFilter),
+		keepFor:   make(map[int][]bool),
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+		e.crashedAt[i] = -1
+	}
+	e.metrics.sizeFor(n)
+	return e
+}
+
+// finishSetup resolves the worker count and shard layout after options
+// have been applied. Workers are spawned lazily on the first StepRound.
+func (e *engine) finishSetup() {
+	n := len(e.nodes)
+	p := e.reqWorkers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	e.workers = p
+	e.shardLo = make([]int, p)
+	e.shardHi = make([]int, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for w := 0; w < p; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		e.shardLo[w], e.shardHi[w] = lo, lo+size
+		lo += size
+	}
+	e.counts = make([][]int32, p)
+	for w := range e.counts {
+		e.counts[w] = make([]int32, n)
+	}
+	e.shards = make([]metricShard, p)
+	for w := range e.shards {
+		e.shards[w].init()
+	}
+	for i, r := range e.rushing {
+		if r {
+			e.rushList = append(e.rushList, i)
+		}
+	}
+	if len(e.rushList) > 0 {
+		e.previews = make(map[int][]Message, len(e.rushList))
+	}
+}
+
+func (e *engine) ensureWorkers() {
+	if e.started {
+		return
+	}
+	e.started = true
+	if e.workers == 1 {
+		return
+	}
+	e.cmd = make([]chan int, e.workers)
+	e.ack = make(chan struct{}, e.workers)
+	e.panics = make([]any, e.workers)
+	for w := 1; w < e.workers; w++ {
+		e.cmd[w] = make(chan int)
+		go e.workerLoop(w)
+	}
+}
+
+func (e *engine) workerLoop(w int) {
+	for ph := range e.cmd[w] {
+		e.runShard(w, ph)
+	}
+}
+
+func (e *engine) runShard(w, ph int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics[w] = r
+		}
+		e.ack <- struct{}{}
+	}()
+	e.phase(w, ph)
+}
+
+// runPhase fans one phase across the pool; the coordinator works shard 0
+// itself. Worker panics (e.g. a node sending to an invalid link) are
+// re-raised here so they surface on the StepRound caller as before.
+func (e *engine) runPhase(ph int) {
+	if e.workers == 1 {
+		e.phase(0, ph)
+		return
+	}
+	for w := 1; w < e.workers; w++ {
+		e.cmd[w] <- ph
+	}
+	e.phase(0, ph)
+	for w := 1; w < e.workers; w++ {
+		<-e.ack
+	}
+	for w := 1; w < e.workers; w++ {
+		if p := e.panics[w]; p != nil {
+			e.panics[w] = nil
+			panic(p)
+		}
+	}
+}
+
+func (e *engine) phase(w, ph int) {
+	lo, hi := e.shardLo[w], e.shardHi[w]
+	switch ph {
+	case phStep:
+		e.phaseStep(lo, hi)
+	case phCount:
+		e.phaseCount(w, lo, hi)
+	case phDeliver:
+		e.phaseDeliver(w, lo, hi)
+	case phScatter:
+		e.phaseScatter(w, lo, hi)
+	}
+}
+
+// close releases the worker pool. Idempotent; installed as a finalizer on
+// the Network handle so undisposed networks don't leak goroutines.
+func (e *engine) close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for w := 1; w < len(e.cmd); w++ {
+		if e.cmd[w] != nil {
+			close(e.cmd[w])
+		}
+	}
+}
+
+// shouldStep reports whether node i executes this round: alive, or
+// crashed mid-send this round (its output will be filtered).
+func (e *engine) shouldStep(i int) bool {
+	if e.alive[i] {
+		return true
+	}
+	if e.crashedAt[i] != e.round {
+		return false
+	}
+	_, midSend := e.filters[i]
+	return midSend
+}
+
+// StepRound executes exactly one synchronous round:
+//
+//  1. the adversary may crash nodes (optionally mid-send),
+//  2. every stepping node receives its inbox (messages sent last round,
+//     sorted by sender) and produces an outbox, shards in parallel,
+//  3. outboxes are filtered for mid-send crashes, counted, and routed
+//     into the (reused) inboxes delivered at the start of the next round.
+func (e *engine) StepRound() {
+	n := len(e.nodes)
+
+	// The adversary moves first, on the coordinator: its randomness (and
+	// any stateful mid-send filters it installs) must be consumed in a
+	// deterministic order regardless of the worker count.
+	copy(e.aliveView, e.alive)
+	view := View{Round: e.round, Alive: e.aliveView, Inboxes: e.inboxes, Peek: e.peek}
+	clear(e.filters)
+	for _, order := range e.adv.Crashes(view) {
+		if order.Node < 0 || order.Node >= n || !e.alive[order.Node] {
+			continue
+		}
+		e.alive[order.Node] = false
+		e.crashedAt[order.Node] = e.round
+		if order.Filter != nil {
+			e.filters[order.Node] = order.Filter
+		}
+	}
+
+	e.ensureWorkers()
+	e.runPhase(phStep)
+	if len(e.rushList) > 0 {
+		e.stepRushers()
+	}
+	if len(e.filters) > 0 {
+		e.evalFilters()
+	}
+	e.runPhase(phCount)
+	e.runPhase(phDeliver)
+	e.runPhase(phScatter)
+	e.foldMetrics()
+
+	if e.observer != nil {
+		e.delivered = e.delivered[:0]
+		for i := range e.nextInb {
+			e.delivered = append(e.delivered, e.nextInb[i]...)
+		}
+		e.observer(e.round, e.delivered)
+	}
+	e.inboxes, e.nextInb = e.nextInb, e.inboxes
+	e.round++
+	e.metrics.Rounds = e.round
+}
+
+// phaseStep — wave 1: every non-rushing stepping node in the shard steps
+// against its inbox. Nodes only touch their own state, so shards are
+// independent; the engine does not retain the returned outbox past the
+// round, so nodes may reuse their outbox buffers.
+func (e *engine) phaseStep(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.outs[i] = nil
+		e.acted[i] = false
+		if e.rushing[i] || !e.shouldStep(i) {
+			continue
+		}
+		e.acted[i] = true
+		e.outs[i] = e.nodes[i].Step(e.round, e.inboxes[i])
+	}
+}
+
+// stepRushers — wave 2, on the coordinator: rushing nodes step with a
+// preview of the messages honest nodes addressed to them in the *current*
+// round appended to their inbox. Rushing nodes do not preview each other.
+// Previews respect mid-send crash filters, and filter calls happen here —
+// before the count phase — in ascending sender order, exactly as the
+// sequential engine made them.
+func (e *engine) stepRushers() {
+	n := len(e.nodes)
+	for k, v := range e.previews {
+		e.previews[k] = v[:0]
+	}
+	for i := 0; i < n; i++ {
+		if !e.acted[i] {
+			continue
+		}
+		filter := e.filters[i]
+		for _, msg := range e.outs[i] {
+			if msg.To < 0 || msg.To >= n || !e.rushing[msg.To] {
+				continue
+			}
+			if filter != nil && !filter(msg.To) {
+				continue
+			}
+			msg.From = i
+			e.previews[msg.To] = append(e.previews[msg.To], msg)
+		}
+	}
+	for _, r := range e.rushList {
+		if !e.shouldStep(r) {
+			continue
+		}
+		inbox := e.inboxes[r]
+		if preview := e.previews[r]; len(preview) > 0 {
+			// Previews were appended in ascending sender order, so the
+			// combined inbox stays sorted by sender.
+			e.rushInbox = append(append(e.rushInbox[:0], inbox...), preview...)
+			inbox = e.rushInbox
+		}
+		e.acted[r] = true
+		e.outs[r] = e.nodes[r].Step(e.round, inbox)
+	}
+}
+
+// evalFilters records, for every mid-send crasher, which of its messages
+// survive. Filters may share a memoizing rng (adversary.randomHalfFilter),
+// so they are evaluated once, sequentially, in ascending (sender, message)
+// order — the order the sequential engine called them in — and the parallel
+// phases consume the recorded verdicts instead of re-invoking the filter.
+func (e *engine) evalFilters() {
+	n := len(e.nodes)
+	e.filterOrder = e.filterOrder[:0]
+	for node := range e.filters {
+		e.filterOrder = append(e.filterOrder, node)
+	}
+	sort.Ints(e.filterOrder)
+	for node, keep := range e.keepFor {
+		delete(e.keepFor, node)
+		e.keepPool = append(e.keepPool, keep[:0])
+	}
+	for _, s := range e.filterOrder {
+		if !e.acted[s] {
+			continue
+		}
+		filter := e.filters[s]
+		out := e.outs[s]
+		var keep []bool
+		if k := len(e.keepPool); k > 0 {
+			keep = e.keepPool[k-1]
+			e.keepPool = e.keepPool[:k-1]
+		}
+		for k := range out {
+			to := out[k].To
+			if to < 0 || to >= n {
+				panic(fmt.Sprintf("sim: node %d sent to invalid link %d", s, to))
+			}
+			keep = append(keep, filter(to))
+		}
+		e.keepFor[s] = keep
+	}
+}
+
+// phaseCount walks the shard's outboxes, counting surviving messages per
+// recipient and accumulating communication metrics into the shard's
+// accumulator. PerNodeSent cells belong to this shard's senders, so the
+// writes are race-free without locks.
+func (e *engine) phaseCount(w, lo, hi int) {
+	counts := e.counts[w]
+	for i := range counts {
+		counts[i] = 0
+	}
+	sh := &e.shards[w]
+	sh.reset()
+	n := len(e.nodes)
+	limit := e.metrics.CongestLimit
+	anyFilters := len(e.filters) > 0
+	for i := lo; i < hi; i++ {
+		if !e.acted[i] {
+			continue
+		}
+		out := e.outs[i]
+		if len(out) == 0 {
+			continue
+		}
+		var keep []bool
+		if anyFilters {
+			keep = e.keepFor[i]
+		}
+		honest := !e.byzantine[i]
+		var sent int64
+		for k := range out {
+			if keep != nil && !keep[k] {
+				// Crashed mid-send: this message was never put on the
+				// wire, so it costs nothing and arrives nowhere.
+				continue
+			}
+			msg := &out[k]
+			if msg.To < 0 || msg.To >= n {
+				panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
+			}
+			counts[msg.To]++
+			sent++
+			sh.add(msg.Payload.Kind(), msg.Payload.Bits(), honest, limit)
+		}
+		e.metrics.PerNodeSent[i] += sent
+	}
+}
+
+// phaseDeliver turns the per-worker counters for this shard's *recipients*
+// into exclusive prefix offsets — the counting sort's allocation step —
+// and resizes the reusable inbox buffers. Worker w's senders all precede
+// worker w+1's, so offset order is global sender order.
+func (e *engine) phaseDeliver(w, lo, hi int) {
+	for to := lo; to < hi; to++ {
+		var total int32
+		for x := 0; x < e.workers; x++ {
+			c := e.counts[x][to]
+			e.counts[x][to] = total
+			total += c
+		}
+		e.metrics.PerNodeReceived[to] += int64(total)
+		buf := e.nextInb[to]
+		if cap(buf) < int(total) {
+			buf = make([]Message, total)
+		} else {
+			buf = buf[:total]
+		}
+		e.nextInb[to] = buf
+	}
+}
+
+// phaseScatter places the shard's surviving messages at their precomputed
+// inbox offsets, stamping the true sender (authenticated channels).
+// Distinct workers write disjoint ranges of each inbox.
+func (e *engine) phaseScatter(w, lo, hi int) {
+	counts := e.counts[w]
+	anyFilters := len(e.filters) > 0
+	for i := lo; i < hi; i++ {
+		if !e.acted[i] {
+			continue
+		}
+		out := e.outs[i]
+		var keep []bool
+		if anyFilters {
+			keep = e.keepFor[i]
+		}
+		for k := range out {
+			if keep != nil && !keep[k] {
+				continue
+			}
+			msg := out[k]
+			msg.From = i
+			pos := counts[msg.To]
+			counts[msg.To] = pos + 1
+			e.nextInb[msg.To][pos] = msg
+		}
+	}
+}
+
+// foldMetrics merges the per-shard accumulators into the public Metrics
+// at the round barrier. Every merge is commutative integer arithmetic, so
+// the fold is identical at every worker count.
+func (e *engine) foldMetrics() {
+	m := e.metrics
+	for w := range e.shards {
+		sh := &e.shards[w]
+		sh.flushRun()
+		m.Messages += sh.messages
+		m.Bits += sh.bits
+		m.HonestMessages += sh.honestMessages
+		m.HonestBits += sh.honestBits
+		m.OversizeMessages += sh.oversize
+		if sh.maxMessageBits > m.MaxMessageBits {
+			m.MaxMessageBits = sh.maxMessageBits
+		}
+		for k, v := range sh.perKind {
+			m.PerKind[k] += v
+		}
+		for k, v := range sh.perKindBits {
+			m.PerKindBits[k] += v
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// pongPayload is a second payload kind so the per-kind run-length cache
+// sees kind transitions.
+type pongPayload struct{ size int }
+
+func (pongPayload) Kind() string { return "pong" }
+func (p pongPayload) Bits() int  { return p.size }
+
+// detNode is a deterministic chaotic node: its state is a hash of every
+// inbox it has seen, and its outbox (recipients, sizes, kinds) is a pure
+// function of that state. Any deviation in delivery order, filtering, or
+// preview content diverges the state hash and cascades.
+type detNode struct {
+	idx, n int
+	state  uint64
+}
+
+func (d *detNode) Step(round int, inbox []Message) Outbox {
+	h := d.state*1099511628211 + uint64(round)
+	for _, msg := range inbox {
+		h = (h ^ uint64(msg.From)) * 1099511628211
+		h = (h ^ uint64(msg.Payload.Bits())) * 1099511628211
+	}
+	d.state = h
+	var out Outbox
+	fan := int(h%5) + 1
+	for k := 0; k < fan; k++ {
+		to := int((h >> (4 * k)) % uint64(d.n))
+		size := int((h>>(3*k))%40) + 1
+		if k%2 == 0 {
+			out = append(out, Message{To: to, Payload: pingPayload{size: size}})
+		} else {
+			out = append(out, Message{To: to, Payload: pongPayload{size: size}})
+		}
+	}
+	return out
+}
+func (d *detNode) Output() (int, bool) { return int(d.state), true }
+func (d *detNode) Halted() bool        { return false }
+
+// sharedRNGAdversary crashes two nodes per round in rounds 2..9, giving
+// the first a mid-send filter that memoizes per-recipient coin flips from
+// a *shared* rng — the statefulness pattern of adversary.randomHalfFilter
+// that forces filter evaluation into a deterministic sequential order.
+type sharedRNGAdversary struct{ rng *rand.Rand }
+
+func (a *sharedRNGAdversary) Crashes(v View) []CrashOrder {
+	if v.Round < 2 || v.Round > 9 {
+		return nil
+	}
+	var orders []CrashOrder
+	for i := 0; len(orders) < 2 && i < len(v.Alive); i++ {
+		idx := (v.Round*7 + i*13) % len(v.Alive)
+		if !v.Alive[idx] {
+			continue
+		}
+		order := CrashOrder{Node: idx}
+		if len(orders) == 0 {
+			decided := make(map[int]bool)
+			rng := a.rng
+			order.Filter = func(to int) bool {
+				if v, ok := decided[to]; ok {
+					return v
+				}
+				keep := rng.Intn(2) == 0
+				decided[to] = keep
+				return keep
+			}
+		}
+		orders = append(orders, order)
+	}
+	return orders
+}
+
+// runDetScenario executes a fixed adversarial scenario (crashes with
+// shared-rng mid-send filters, Byzantine and rushing links, a CONGEST
+// budget, an observer) at the given engine worker count and returns a
+// fingerprint of everything observable: the per-round wire stream, final
+// node states, crash schedule, and every metric.
+func runDetScenario(t *testing.T, workers int) string {
+	t.Helper()
+	const n = 48
+	nodes := make([]*detNode, n)
+	simNodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &detNode{idx: i, n: n, state: uint64(i) + 1}
+		simNodes[i] = nodes[i]
+	}
+	wire := fnv.New64a()
+	nw := NewNetwork(simNodes,
+		WithCrashAdversary(&sharedRNGAdversary{rng: rand.New(rand.NewSource(42))}),
+		WithByzantine([]int{3, 17, 31}),
+		WithRushing([]int{3, 17}),
+		WithCongestLimit(24),
+		WithEngineWorkers(workers),
+		WithObserver(func(round int, delivered []Message) {
+			fmt.Fprintf(wire, "r%d:", round)
+			for _, msg := range delivered {
+				fmt.Fprintf(wire, "%d>%d/%s/%d;", msg.From, msg.To, msg.Payload.Kind(), msg.Payload.Bits())
+			}
+		}))
+	defer nw.Close()
+	for r := 0; r < 16; r++ {
+		nw.StepRound()
+	}
+	m := nw.Metrics()
+	fp := fmt.Sprintf("wire=%x %s honest=%d/%d oversize=%d sent=%v recv=%v",
+		wire.Sum64(), m, m.HonestMessages, m.HonestBits, m.OversizeMessages,
+		m.PerNodeSent, m.PerNodeReceived)
+	for i := range nodes {
+		fp += fmt.Sprintf(" s%d=%x@%d", i, nodes[i].state, nw.CrashedAt(i))
+	}
+	return fp
+}
+
+// TestEngineDeterministicAcrossWorkers is the tentpole safety net: the
+// sharded engine must produce bit-identical executions at every worker
+// count, including stateful mid-send crash filters, rushing previews,
+// and the full metrics fold.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	want := runDetScenario(t, 1)
+	for _, p := range []int{2, 3, 5, 8, 64} {
+		if got := runDetScenario(t, p); got != want {
+			t.Fatalf("workers=%d diverged from workers=1:\n got %s\nwant %s", p, got, want)
+		}
+	}
+}
+
+// TestEngineWorkerClamp checks that worker counts beyond n (or absurd
+// values) clamp to a full shard cover: every node belongs to exactly one
+// shard and the simulation still runs.
+func TestEngineWorkerClamp(t *testing.T) {
+	_, simNodes := buildEcho(3, 0)
+	nw := NewNetwork(simNodes, WithEngineWorkers(16))
+	defer nw.Close()
+	if nw.workers != 3 {
+		t.Fatalf("workers = %d, want clamp to n = 3", nw.workers)
+	}
+	covered := 0
+	for w := 0; w < nw.workers; w++ {
+		covered += nw.shardHi[w] - nw.shardLo[w]
+	}
+	if covered != 3 {
+		t.Fatalf("shards cover %d nodes, want 3", covered)
+	}
+	nw.StepRound()
+	nw.StepRound()
+	if nw.Metrics().Messages != 9 {
+		t.Fatalf("messages = %d, want 9", nw.Metrics().Messages)
+	}
+}
+
+// TestCloseIdempotent checks that Close can be called repeatedly (defer +
+// finalizer both run) without panicking or deadlocking.
+func TestCloseIdempotent(t *testing.T) {
+	_, simNodes := buildEcho(4, 0)
+	nw := NewNetwork(simNodes, WithEngineWorkers(2))
+	nw.StepRound()
+	nw.Close()
+	nw.Close()
+}
+
+// TestInvalidLinkPanicsParallel mirrors TestInvalidLinkPanics at a
+// multi-worker count: a worker-shard panic must propagate to the
+// StepRound caller, not kill the process from a bare goroutine.
+func TestInvalidLinkPanicsParallel(t *testing.T) {
+	nodes := []Node{&badNode{}, &badNode{}, &badNode{}, &badNode{}}
+	nw := NewNetwork(nodes, WithEngineWorkers(4))
+	defer nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid link")
+		}
+	}()
+	nw.StepRound()
+}

@@ -9,8 +9,10 @@ import (
 // Metrics accumulates the communication-complexity measures the paper
 // reports: total messages, total bits, rounds executed, and the largest
 // single message observed (to validate the O(log N) message-size claim).
-// Counting happens single-threaded between round barriers, so Metrics
-// needs no locking.
+// During a round each engine shard counts into its own metricShard; the
+// shards are folded into Metrics at the round barrier, so Metrics needs
+// no locking and every fold (commutative integer sums and maxima) is
+// identical at any worker count.
 type Metrics struct {
 	// Messages is the total number of messages sent. A message to a
 	// crashed recipient still counts: the sender paid for it.
@@ -51,29 +53,80 @@ func NewMetrics() *Metrics {
 	}
 }
 
-func (m *Metrics) record(msg Message, honest bool) {
-	bits := msg.Payload.Bits()
-	kind := msg.Payload.Kind()
-	m.Messages++
-	m.Bits += int64(bits)
-	if msg.From >= 0 && msg.From < len(m.PerNodeSent) {
-		m.PerNodeSent[msg.From]++
-	}
-	if msg.To >= 0 && msg.To < len(m.PerNodeReceived) {
-		m.PerNodeReceived[msg.To]++
-	}
+// metricShard is one engine worker's per-round accumulator. The hot path
+// (add) touches only shard-local state — no locks, no shared cache lines —
+// and the per-kind maps are fed through a run-length cache because
+// protocols overwhelmingly emit runs of the same payload kind.
+type metricShard struct {
+	messages       int64
+	bits           int64
+	honestMessages int64
+	honestBits     int64
+	oversize       int64
+	maxMessageBits int
+	perKind        map[string]int64
+	perKindBits    map[string]int64
+
+	// Run-length cache for the per-kind maps: consecutive messages of one
+	// kind accumulate in runCount/runBits and hit the map once per run.
+	runKind  string
+	runCount int64
+	runBits  int64
+}
+
+func (s *metricShard) init() {
+	s.perKind = make(map[string]int64)
+	s.perKindBits = make(map[string]int64)
+}
+
+// reset clears the shard for a new round (after the previous fold).
+func (s *metricShard) reset() {
+	s.messages = 0
+	s.bits = 0
+	s.honestMessages = 0
+	s.honestBits = 0
+	s.oversize = 0
+	s.maxMessageBits = 0
+	clear(s.perKind)
+	clear(s.perKindBits)
+	s.runKind = ""
+	s.runCount = 0
+	s.runBits = 0
+}
+
+// add records one on-the-wire message. Semantics mirror the sequential
+// engine's accounting: totals include Byzantine senders, while the
+// honest-only aggregates (and the CONGEST/size checks, which measure the
+// algorithm rather than the adversary) require honest == true.
+func (s *metricShard) add(kind string, bits int, honest bool, limit int) {
+	s.messages++
+	s.bits += int64(bits)
 	if honest {
-		m.HonestMessages++
-		m.HonestBits += int64(bits)
-		if bits > m.MaxMessageBits {
-			m.MaxMessageBits = bits
+		s.honestMessages++
+		s.honestBits += int64(bits)
+		if bits > s.maxMessageBits {
+			s.maxMessageBits = bits
 		}
-		if m.CongestLimit > 0 && bits > m.CongestLimit {
-			m.OversizeMessages++
+		if limit > 0 && bits > limit {
+			s.oversize++
 		}
 	}
-	m.PerKind[kind]++
-	m.PerKindBits[kind] += int64(bits)
+	if kind != s.runKind {
+		s.flushRun()
+		s.runKind = kind
+	}
+	s.runCount++
+	s.runBits += int64(bits)
+}
+
+// flushRun spills the run-length cache into the per-kind maps.
+func (s *metricShard) flushRun() {
+	if s.runCount != 0 {
+		s.perKind[s.runKind] += s.runCount
+		s.perKindBits[s.runKind] += s.runBits
+		s.runCount = 0
+		s.runBits = 0
+	}
 }
 
 // sizeFor allocates the per-node counters once the network size is known.

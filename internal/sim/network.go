@@ -4,56 +4,48 @@
 // can kill nodes even mid-send, and metrics that account messages, bits,
 // and rounds exactly as the paper's complexity statements do.
 //
-// Within a round all alive nodes step concurrently (one goroutine each)
-// behind a barrier; determinism is preserved because each node only
-// touches its own state and every inbox is sorted by sender before
-// delivery.
+// Within a round, a persistent pool of GOMAXPROCS workers steps
+// contiguous node shards behind a barrier and routes messages through
+// reusable per-node inboxes (a counting sort by sender). Determinism is
+// preserved because each node only touches its own state, inboxes are
+// delivered sorted by sender, and every adversary decision — including
+// stateful mid-send crash filters — is evaluated sequentially on the
+// coordinator: results are bit-identical at every worker count.
 package sim
 
 import (
 	"errors"
-	"fmt"
-	"sort"
-	"sync"
+	"runtime"
 )
 
 // ErrRoundLimit is returned by Network.Run when the round budget is
 // exhausted before every alive node halted.
 var ErrRoundLimit = errors.New("sim: round limit exceeded before all nodes halted")
 
-// Network drives a set of nodes through synchronous rounds.
+// Network drives a set of nodes through synchronous rounds. It is a
+// handle over the round engine; Close releases the engine's worker pool
+// (a finalizer covers handles that are dropped without Close, so leaking
+// one costs deferred goroutines, not correctness).
 type Network struct {
-	nodes   []Node
-	alive   []bool
-	adv     CrashAdversary
-	metrics *Metrics
-	inboxes [][]Message
-	peek    func(node int) any
-
-	// crashed remembers the round each node crashed in, -1 if alive.
-	crashedAt []int
-	byzantine []bool
-	rushing   []bool
-	round     int
-	observer  func(round int, delivered []Message)
+	*engine
 }
 
 // Option configures a Network.
-type Option func(*Network)
+type Option func(*engine)
 
 // WithCrashAdversary installs the adaptive crash adversary consulted at
 // the start of every round.
 func WithCrashAdversary(adv CrashAdversary) Option {
-	return func(nw *Network) { nw.adv = adv }
+	return func(e *engine) { e.adv = adv }
 }
 
 // WithByzantine marks the given link indices as Byzantine so metrics can
 // separate honest traffic (the algorithm's cost) from adversarial noise.
 func WithByzantine(links []int) Option {
-	return func(nw *Network) {
+	return func(e *engine) {
 		for _, i := range links {
-			if i >= 0 && i < len(nw.byzantine) {
-				nw.byzantine[i] = true
+			if i >= 0 && i < len(e.byzantine) {
+				e.byzantine[i] = true
 			}
 		}
 	}
@@ -62,7 +54,7 @@ func WithByzantine(links []int) Option {
 // WithPeek installs a state exporter that the adversary's View.Peek
 // forwards to, giving adaptive adversaries visibility into node state.
 func WithPeek(peek func(node int) any) Option {
-	return func(nw *Network) { nw.peek = peek }
+	return func(e *engine) { e.peek = peek }
 }
 
 // WithRushing marks links as *rushing* adversaries: each round they step
@@ -71,10 +63,10 @@ func WithPeek(peek func(node int) any) Option {
 // the standard synchronous-model power of a Byzantine node that waits for
 // everyone else before speaking. Rushing nodes do not preview each other.
 func WithRushing(links []int) Option {
-	return func(nw *Network) {
+	return func(e *engine) {
 		for _, i := range links {
-			if i >= 0 && i < len(nw.rushing) {
-				nw.rushing[i] = true
+			if i >= 0 && i < len(e.rushing) {
+				e.rushing[i] = true
 			}
 		}
 	}
@@ -85,40 +77,45 @@ func WithRushing(links []int) Option {
 // still delivered — the simulator reports violations rather than
 // truncating protocol state).
 func WithCongestLimit(bits int) Option {
-	return func(nw *Network) { nw.metrics.CongestLimit = bits }
+	return func(e *engine) { e.metrics.CongestLimit = bits }
 }
 
 // WithObserver installs a per-round callback invoked with the messages
 // that were put on the wire this round (post crash filtering), for
-// tracing and debugging. The slice must not be retained.
+// tracing and debugging. The slice is reused between rounds and must not
+// be retained.
 func WithObserver(observer func(round int, delivered []Message)) Option {
-	return func(nw *Network) { nw.observer = observer }
+	return func(e *engine) { e.observer = observer }
+}
+
+// WithEngineWorkers pins the engine's worker count (shards) instead of
+// the GOMAXPROCS default. Results are bit-identical at every setting —
+// the determinism tests exercise exactly that — so this is a performance
+// and testing knob, never a semantics knob.
+func WithEngineWorkers(p int) Option {
+	return func(e *engine) { e.reqWorkers = p }
 }
 
 // NewNetwork creates a network over the given nodes. Node i is reachable
 // on link i from every node, matching the paper's complete-network model.
+//
+// The returned Network owns a worker pool; call Close when done with it.
 func NewNetwork(nodes []Node, opts ...Option) *Network {
-	n := len(nodes)
-	nw := &Network{
-		nodes:     nodes,
-		alive:     make([]bool, n),
-		adv:       NoCrashes{},
-		metrics:   NewMetrics(),
-		inboxes:   make([][]Message, n),
-		crashedAt: make([]int, n),
-		byzantine: make([]bool, n),
-		rushing:   make([]bool, n),
-	}
-	for i := range nw.alive {
-		nw.alive[i] = true
-		nw.crashedAt[i] = -1
-	}
-	nw.metrics.sizeFor(n)
+	e := newEngine(nodes)
 	for _, opt := range opts {
-		opt(nw)
+		opt(e)
 	}
+	e.finishSetup()
+	nw := &Network{engine: e}
+	// Workers reference only the inner engine, so a dropped handle stays
+	// collectable and the finalizer reclaims the pool.
+	runtime.SetFinalizer(nw, (*Network).Close)
 	return nw
 }
+
+// Close releases the engine's worker pool. Idempotent; the Network must
+// not be stepped afterwards.
+func (nw *Network) Close() { nw.engine.close() }
 
 // Metrics exposes the accumulated communication metrics.
 func (nw *Network) Metrics() *Metrics { return nw.metrics }
@@ -147,119 +144,6 @@ func (nw *Network) CrashedAt(i int) int { return nw.crashedAt[i] }
 // Round returns the number of rounds executed so far.
 func (nw *Network) Round() int { return nw.round }
 
-// StepRound executes exactly one synchronous round:
-//
-//  1. the adversary may crash nodes (optionally mid-send),
-//  2. every alive node receives its inbox (messages sent last round,
-//     sorted by sender) and produces an outbox, all nodes in parallel,
-//  3. outboxes are filtered for mid-send crashes, counted, and queued
-//     for delivery at the start of the next round.
-func (nw *Network) StepRound() {
-	n := len(nw.nodes)
-	view := View{Round: nw.round, Alive: nw.cloneAlive(), Inboxes: nw.inboxes, Peek: nw.peek}
-	filters := make(map[int]SendFilter)
-	for _, order := range nw.adv.Crashes(view) {
-		if order.Node < 0 || order.Node >= n || !nw.alive[order.Node] {
-			continue
-		}
-		nw.alive[order.Node] = false
-		nw.crashedAt[order.Node] = nw.round
-		if order.Filter != nil {
-			filters[order.Node] = order.Filter
-		}
-	}
-
-	// Select the nodes that execute this round: all alive nodes, plus
-	// mid-send crashers (whose output will be filtered).
-	stepping := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if nw.alive[i] {
-			stepping = append(stepping, i)
-			continue
-		}
-		if _, midSend := filters[i]; midSend && nw.crashedAt[i] == nw.round {
-			stepping = append(stepping, i)
-		}
-	}
-
-	// Wave 1: every non-rushing node steps concurrently.
-	outs := make([]Outbox, n)
-	var wg sync.WaitGroup
-	var rushers []int
-	for _, i := range stepping {
-		if nw.rushing[i] {
-			rushers = append(rushers, i)
-			continue
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			outs[i] = nw.nodes[i].Step(nw.round, nw.inboxes[i])
-		}(i)
-	}
-	wg.Wait()
-
-	// Wave 2: rushing nodes step with a preview of this round's honest
-	// messages addressed to them appended to their inbox.
-	if len(rushers) > 0 {
-		previews := make(map[int][]Message)
-		for _, i := range stepping {
-			if nw.rushing[i] {
-				continue
-			}
-			filter := filters[i]
-			for _, msg := range outs[i] {
-				if msg.To < 0 || msg.To >= n || !nw.rushing[msg.To] {
-					continue
-				}
-				if filter != nil && !filter(msg.To) {
-					continue
-				}
-				msg.From = i
-				previews[msg.To] = append(previews[msg.To], msg)
-			}
-		}
-		for _, i := range rushers {
-			preview := previews[i]
-			sort.SliceStable(preview, func(a, b int) bool { return preview[a].From < preview[b].From })
-			inbox := append(append([]Message(nil), nw.inboxes[i]...), preview...)
-			outs[i] = nw.nodes[i].Step(nw.round, inbox)
-		}
-	}
-
-	next := make([][]Message, n)
-	for _, i := range stepping {
-		filter := filters[i]
-		for _, msg := range outs[i] {
-			if msg.To < 0 || msg.To >= n {
-				panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
-			}
-			if filter != nil && !filter(msg.To) {
-				// Crashed mid-send: this message was never put on
-				// the wire, so it costs nothing and arrives nowhere.
-				continue
-			}
-			// Stamp the true sender: authenticated channels.
-			msg.From = i
-			nw.metrics.record(msg, !nw.byzantine[i])
-			next[msg.To] = append(next[msg.To], msg)
-		}
-	}
-	for i := range next {
-		sort.SliceStable(next[i], func(a, b int) bool { return next[i][a].From < next[i][b].From })
-	}
-	if nw.observer != nil {
-		var delivered []Message
-		for i := range next {
-			delivered = append(delivered, next[i]...)
-		}
-		nw.observer(nw.round, delivered)
-	}
-	nw.inboxes = next
-	nw.round++
-	nw.metrics.Rounds = nw.round
-}
-
 // Run executes rounds until every alive node reports Halted, or until
 // maxRounds have executed, in which case it returns ErrRoundLimit.
 func (nw *Network) Run(maxRounds int) error {
@@ -282,10 +166,4 @@ func (nw *Network) allHalted() bool {
 		}
 	}
 	return true
-}
-
-func (nw *Network) cloneAlive() []bool {
-	alive := make([]bool, len(nw.alive))
-	copy(alive, nw.alive)
-	return alive
 }

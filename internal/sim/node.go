@@ -11,6 +11,12 @@ package sim
 type Node interface {
 	// Step executes one synchronous round and returns the messages the
 	// node sends this round. round counts from 0.
+	//
+	// Buffer ownership, both directions: the inbox slice is reused by the
+	// engine between rounds, so a node that needs messages later must
+	// copy the Message values out; symmetrically, the engine does not
+	// retain the returned Outbox past the round, so a node may reuse one
+	// outbox buffer across rounds to avoid per-round allocation.
 	Step(round int, inbox []Message) Outbox
 
 	// Output returns the node's decided new identity. ok is false while

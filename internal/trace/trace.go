@@ -13,7 +13,10 @@ import (
 	"renaming/internal/stats"
 )
 
-// RoundSummary aggregates one round's delivered traffic.
+// RoundSummary aggregates one round's sent-on-the-wire traffic: every
+// message a sender paid for this round, including messages addressed to
+// already-crashed recipients (the recipient being dead does not refund
+// the sender's communication cost).
 type RoundSummary struct {
 	Round    int
 	Messages int
@@ -21,7 +24,9 @@ type RoundSummary struct {
 	ByKind   map[string]int
 }
 
-// Recorder accumulates round summaries.
+// Recorder accumulates round summaries. Every executed round produces
+// one summary — fully quiet rounds (no traffic) included — so a
+// recording's round count always equals the network's round count.
 type Recorder struct {
 	rounds []RoundSummary
 }
@@ -64,7 +69,9 @@ func (r *Recorder) BusiestRound() (RoundSummary, bool) {
 
 // Summary condenses a recording into the per-round traffic profile the
 // experiment runner embeds in its telemetry records: round count,
-// busiest round, and the mean/stddev message volume per round.
+// busiest round, and the mean/stddev message volume per round. Rounds
+// counts every executed round (quiet ones included) and the message
+// statistics use sent-on-the-wire semantics, as documented on Recorder.
 type Summary struct {
 	Rounds          int
 	BusiestRound    int

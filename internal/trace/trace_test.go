@@ -38,6 +38,68 @@ func TestRecorderSummaries(t *testing.T) {
 	}
 }
 
+// loudNode sends one message per round to a fixed peer for the first
+// sendFor rounds, then goes quiet (without halting).
+type loudNode struct{ peer, sendFor int }
+
+func (l *loudNode) Step(round int, inbox []sim.Message) sim.Outbox {
+	if round < l.sendFor {
+		return sim.Outbox{{To: l.peer, Payload: tp{kind: "a"}}}
+	}
+	return nil
+}
+func (l *loudNode) Output() (int, bool) { return 0, false }
+func (l *loudNode) Halted() bool        { return false }
+
+type quietNode struct{}
+
+func (quietNode) Step(int, []sim.Message) sim.Outbox { return nil }
+func (quietNode) Output() (int, bool)                { return 0, false }
+func (quietNode) Halted() bool                       { return false }
+
+// crashAt crashes one node before it sends in a given round.
+type crashAt struct{ node, round int }
+
+func (c crashAt) Crashes(v sim.View) []sim.CrashOrder {
+	if v.Round == c.round {
+		return []sim.CrashOrder{{Node: c.node}}
+	}
+	return nil
+}
+
+// TestSentOnTheWireSemantics pins the documented recording contract
+// against the real engine: every executed round is recorded — fully
+// quiet rounds included, so Summary().Rounds equals the network's round
+// count — and a message addressed to an already-crashed recipient still
+// counts, because the sender paid for it.
+func TestSentOnTheWireSemantics(t *testing.T) {
+	r := NewRecorder()
+	nodes := []sim.Node{&loudNode{peer: 1, sendFor: 2}, quietNode{}}
+	nw := sim.NewNetwork(nodes,
+		sim.WithCrashAdversary(crashAt{node: 1, round: 0}),
+		sim.WithObserver(r.Observe))
+	defer nw.Close()
+	for i := 0; i < 4; i++ {
+		nw.StepRound()
+	}
+	rounds := r.Rounds()
+	if len(rounds) != 4 || r.Summary().Rounds != 4 || nw.Round() != 4 {
+		t.Fatalf("recorded %d rounds, summary %d, network %d — want all 4",
+			len(rounds), r.Summary().Rounds, nw.Round())
+	}
+	// Node 1 is dead from round 0, yet both of node 0's messages to it
+	// were put on the wire and must appear in the trace and the metrics.
+	if rounds[0].Messages != 1 || rounds[1].Messages != 1 {
+		t.Fatalf("messages to a crashed recipient dropped from the trace: %+v", rounds[:2])
+	}
+	if rounds[2].Messages != 0 || rounds[3].Messages != 0 {
+		t.Fatalf("quiet rounds recorded traffic: %+v", rounds[2:])
+	}
+	if nw.Metrics().Messages != 2 {
+		t.Fatalf("metrics counted %d messages, want 2 (sender pays)", nw.Metrics().Messages)
+	}
+}
+
 func TestBusiestEmpty(t *testing.T) {
 	if _, ok := NewRecorder().BusiestRound(); ok {
 		t.Fatal("empty recorder reported a busiest round")

@@ -84,9 +84,12 @@ type Result struct {
 
 // RoundStats summarizes the per-round traffic profile of a run — the
 // telemetry the experiment runner records so a sweep artifact carries
-// the traffic shape, not just the totals.
+// the traffic shape, not just the totals. Message counts use
+// sent-on-the-wire semantics: a message to an already-crashed recipient
+// still counts, because the sender paid for it.
 type RoundStats struct {
-	// Rounds is the number of rounds that delivered any state.
+	// Rounds is the number of rounds the network executed, including
+	// fully quiet rounds; it always equals the execution's round count.
 	Rounds int `json:"rounds"`
 	// BusiestRound and BusiestMessages locate the traffic peak.
 	BusiestRound    int `json:"busiestRound"`
@@ -136,6 +139,45 @@ func roundStatsFrom(rec *trace.Recorder) *RoundStats {
 		MeanMessages:    s.MeanMessages,
 		StddevMessages:  s.StddevMessages,
 	}
+}
+
+// AdversaryLinks places f adversarial (Byzantine / corrupt) links among
+// n nodes, spread by the stride 3i+1 so adversaries land in different
+// thirds of the ring rather than clustering at the low indices.
+//
+// Unlike the naive (3i+1) mod n enumeration, placement is deduplicated:
+// when the stride wraps onto an already-chosen link (which happens
+// whenever n ≡ 0 (mod 3) and f > n/3, because the stride then only ever
+// visits residues ≡ 1 mod 3), the remaining adversaries fill the lowest
+// unused links instead of silently re-corrupting the same ones. The
+// result always contains exactly f distinct links; whenever the naive
+// enumeration was collision-free the two placements are identical, so
+// historical sweep outputs are unchanged.
+func AdversaryLinks(n, f int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("renaming: adversary placement needs n > 0, got n=%d", n)
+	}
+	if f < 0 || f >= n {
+		return nil, fmt.Errorf("renaming: adversary count f=%d out of range [0, n) for n=%d", f, n)
+	}
+	links := make([]int, 0, f)
+	used := make([]bool, n)
+	for i := 0; i < n && len(links) < f; i++ {
+		link := (3*i + 1) % n
+		if !used[link] {
+			used[link] = true
+			links = append(links, link)
+		}
+	}
+	// Stride exhausted (n ≡ 0 mod 3 visits only n/3 links): fill the
+	// lowest unused links. f < n guarantees enough remain.
+	for link := 0; len(links) < f; link++ {
+		if !used[link] {
+			used[link] = true
+			links = append(links, link)
+		}
+	}
+	return links, nil
 }
 
 // IDPattern selects how original identities are spread over [N].

@@ -290,3 +290,49 @@ func TestRunByzantineValidation(t *testing.T) {
 		t.Fatal("out-of-range id accepted")
 	}
 }
+
+func TestAdversaryLinks(t *testing.T) {
+	// n ≡ 0 (mod 3) with f > n/3: the naive (3i+1) mod n stride only
+	// visits n/3 residues, so the old placement silently under-provisioned
+	// the adversary. The fixed placement must produce f distinct links.
+	links, err := AdversaryLinks(96, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 33 {
+		t.Fatalf("placed %d links, want 33", len(links))
+	}
+	seen := make(map[int]bool)
+	for _, link := range links {
+		if link < 0 || link >= 96 {
+			t.Fatalf("link %d out of range", link)
+		}
+		if seen[link] {
+			t.Fatalf("duplicate link %d", link)
+		}
+		seen[link] = true
+	}
+
+	// Whenever the naive enumeration is collision-free (every experiment
+	// call site, which keeps historical sweeps byte-identical), the fixed
+	// placement matches it exactly.
+	links, err = AdversaryLinks(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, link := range links {
+		if link != (3*i+1)%64 {
+			t.Fatalf("collision-free placement diverged at %d: got %d, want %d", i, link, (3*i+1)%64)
+		}
+	}
+
+	// Invalid shapes error loudly instead of dividing by zero or looping.
+	for _, bad := range []struct{ n, f int }{{0, 0}, {0, 3}, {-1, 1}, {8, -1}, {8, 8}, {8, 9}} {
+		if _, err := AdversaryLinks(bad.n, bad.f); err == nil {
+			t.Errorf("AdversaryLinks(%d, %d) accepted", bad.n, bad.f)
+		}
+	}
+	if links, err := AdversaryLinks(5, 0); err != nil || len(links) != 0 {
+		t.Fatalf("f=0 should place nothing: %v, %v", links, err)
+	}
+}

@@ -149,6 +149,7 @@ func runBaselineNodes(n int, spec BaselineSpec, byzSet map[int]bool, factory fun
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
 	}
 	nw := sim.NewNetwork(simNodes, opts...)
+	defer nw.Close()
 	if err := nw.Run(maxRounds); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}

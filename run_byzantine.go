@@ -151,6 +151,7 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
 	}
 	nw := sim.NewNetwork(simNodes, opts...)
+	defer nw.Close()
 	if err := nw.Run(byzRoundBudget(cfg, len(byzLinks))); err != nil {
 		return nil, fmt.Errorf("byzantine renaming: %w", err)
 	}

@@ -143,6 +143,7 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
 	}
 	nw := sim.NewNetwork(simNodes, opts...)
+	defer nw.Close()
 	if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
 		return nil, fmt.Errorf("crash renaming: %w", err)
 	}
