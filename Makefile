@@ -10,10 +10,11 @@ all: build test
 # there too, when installed locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
 ci:
 	$(GO) vet ./...
-	command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed, skipping"
+	if command -v staticcheck >/dev/null; then staticcheck ./...; else echo "staticcheck not installed, skipping"; fi
 	$(GO) build ./...
 	$(GO) test ./... -short -race
 	$(GO) test -run '^$$' -bench StepRound -benchtime 1x ./internal/sim
+	$(GO) run ./cmd/campaign -algo crash -n 64 -execs 50 -seed 1
 
 build:
 	$(GO) build ./...

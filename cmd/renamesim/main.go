@@ -7,6 +7,8 @@
 //	renamesim -n 256 -fault killer -f 64          # adaptive committee killer
 //	renamesim -n 96 -algo byzantine -f 8          # split-world Byzantine nodes
 //	renamesim -n 128 -algo baseline-a2a -fault random -f 32
+//	renamesim -n 128 -strategy mixed -f 32        # campaign strategy generator
+//	renamesim -strategy replay:repro.json         # replay a shrunk campaign artifact
 package main
 
 import (
@@ -15,8 +17,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"renaming"
+	"renaming/internal/campaign"
 	"renaming/internal/runner"
 )
 
@@ -43,8 +47,13 @@ func run() error {
 		early    = flag.Bool("early-stop", false, "enable the crash algorithm's early-stopping extension")
 		verbose  = flag.Bool("v", false, "print the per-link renaming")
 		outPath  = flag.String("out", "", "append the run as one JSONL telemetry record (docs/OBSERVABILITY.md)")
+		strategy = flag.String("strategy", "", "campaign strategy generator (early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent), or replay:<artifact.json>; empty keeps -fault/-behavior semantics")
 	)
 	flag.Parse()
+
+	if path, ok := strings.CutPrefix(*strategy, "replay:"); ok {
+		return replayArtifact(path, *asJSON)
+	}
 
 	if *n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", *n)
@@ -70,6 +79,34 @@ func run() error {
 		return fmt.Errorf("unknown fault %q", *fault)
 	}
 
+	// A campaign strategy generator overrides -fault (crash kinds) or the
+	// -behavior corruption set (byz-* kinds). With -strategy unset,
+	// behaviour is unchanged.
+	var stratByz map[int]renaming.Behavior
+	if *strategy != "" {
+		kind := campaign.GeneratorKind(*strategy)
+		if kind.IsByz() != (*algo == "byzantine") {
+			return fmt.Errorf("-strategy %q does not match -algo %q", *strategy, *algo)
+		}
+		strat, serr := campaign.Generate(campaign.GenSpec{
+			Kind: kind, N: *n, Budget: *f, Rounds: campaign.CrashRoundCeiling(*n),
+		}, *seed)
+		if serr != nil {
+			return serr
+		}
+		if kind.IsByz() {
+			var merr error
+			if stratByz, merr = strat.ByzMap(); merr != nil {
+				return merr
+			}
+		} else {
+			if *algo != "crash" && *algo != "baseline-a2a" {
+				return fmt.Errorf("-strategy %q needs -algo crash or baseline-a2a", *strategy)
+			}
+			faultSpec = strat.Fault()
+		}
+	}
+
 	var traceOut *os.File
 	if *doTrace {
 		traceOut = os.Stdout
@@ -88,17 +125,20 @@ func run() error {
 			return renaming.RunCrash(*n, spec)
 		}
 	case "byzantine":
-		b, berr := parseBehavior(*behavior)
-		if berr != nil {
-			return berr
-		}
-		links, lerr := renaming.AdversaryLinks(*n, *f)
-		if lerr != nil {
-			return lerr
-		}
-		byz := make(map[int]renaming.Behavior, *f)
-		for _, link := range links {
-			byz[link] = b
+		byz := stratByz
+		if byz == nil {
+			b, berr := parseBehavior(*behavior)
+			if berr != nil {
+				return berr
+			}
+			links, lerr := renaming.AdversaryLinks(*n, *f)
+			if lerr != nil {
+				return lerr
+			}
+			byz = make(map[int]renaming.Behavior, *f)
+			for _, link := range links {
+				byz[link] = b
+			}
 		}
 		exec = func(seed int64) (*renaming.Result, error) {
 			spec := renaming.ByzSpec{
@@ -217,6 +257,45 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// replayArtifact re-executes a shrunk campaign reproducer
+// (docs/CAMPAIGNS.md) and reports the result plus any violation the
+// default theorem oracle still finds.
+func replayArtifact(path string, asJSON bool) error {
+	artifact, err := campaign.LoadArtifact(path)
+	if err != nil {
+		return err
+	}
+	res, viols, err := artifact.Replay()
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Artifact   *campaign.ReproArtifact
+			Violations []campaign.Violation
+			*renaming.Result
+		}{Artifact: artifact, Violations: viols, Result: res})
+	}
+	fmt.Printf("artifact        %s\n", path)
+	fmt.Printf("algorithm       %s (n=%d, N=%d, seed=%d)\n", artifact.Algo, artifact.N, artifact.BigN, artifact.Seed)
+	fmt.Printf("recorded        [%s] %s\n", artifact.Invariant, artifact.Detail)
+	fmt.Printf("schedule        %d events, %d corruptions\n", len(artifact.Strategy.Schedule), len(artifact.Strategy.Byzantine))
+	fmt.Printf("unique/strong   %v\n", res.Unique)
+	fmt.Printf("rounds          %d\n", res.Rounds)
+	fmt.Printf("messages        %d (honest %d)\n", res.Messages, res.HonestMessages)
+	fmt.Printf("crashes/byz     %d/%d\n", res.Crashes, res.Byzantine)
+	if len(viols) == 0 {
+		fmt.Println("oracle          clean on replay")
+		return nil
+	}
+	for _, v := range viols {
+		fmt.Printf("oracle          [%s] %s\n", v.Invariant, v.Detail)
+	}
+	return fmt.Errorf("replay reproduced %d violation(s)", len(viols))
 }
 
 func parseBehavior(s string) (renaming.Behavior, error) {

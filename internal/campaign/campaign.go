@@ -1,0 +1,276 @@
+package campaign
+
+import (
+	"fmt"
+
+	"renaming"
+	"renaming/internal/runner"
+	"renaming/internal/sim"
+)
+
+// execLabel is the DeriveSeed stream label for per-execution seeds
+// ("camp").
+const execLabel uint64 = 0x63616d70
+
+// Algo names the system under test.
+type Algo string
+
+const (
+	// AlgoCrash is the paper's crash-resilient algorithm (Section 2).
+	AlgoCrash Algo = "crash"
+	// AlgoByzantine is the paper's Byzantine algorithm (Section 3).
+	AlgoByzantine Algo = "byzantine"
+	// AlgoBaselineA2A is the all-to-all interval-halving crash baseline —
+	// it faces the exact same generated schedules as AlgoCrash, so
+	// campaigns compare algorithms under identical adversaries.
+	AlgoBaselineA2A Algo = "baseline-a2a"
+)
+
+// Spec configures one campaign: Executions independent runs of Algo at
+// size N, each against a fresh strategy drawn from Generator.
+type Spec struct {
+	// Algo is the system under test.
+	Algo Algo
+	// N is the network size.
+	N int
+	// BigN is the original namespace size; defaults to 16·N (crash,
+	// baseline) or 8·N (Byzantine), matching the Run* defaults.
+	BigN int
+	// Executions is the number of randomized executions.
+	Executions int
+	// Seed is the campaign master seed: every execution seed, strategy,
+	// and bootstrap resample derives from it.
+	Seed int64
+	// Generator selects the strategy distribution; it must match the
+	// algo (crash generators for crash/baseline, byz-* for Byzantine).
+	Generator GeneratorKind
+	// Budget caps the adversary per execution (crashes or Byzantine
+	// nodes); defaults to N/4 (crash) or the Byzantine assumption bound.
+	Budget int
+	// CommitteeScale is passed through to the crash algorithm; defaults
+	// to 0.02 (the experiment suite's scaled committee).
+	CommitteeScale float64
+	// PoolProb is passed through to the Byzantine algorithm; defaults
+	// to 20/N (the E5 pool).
+	PoolProb float64
+	// EarlyStop enables the crash algorithm's early-stopping extension.
+	EarlyStop bool
+	// Workers caps concurrent executions; <=0 means GOMAXPROCS. The
+	// campaign artifact is byte-identical at any worker count.
+	Workers int
+	// Sinks receive one telemetry record per execution, in order.
+	Sinks []runner.Sink
+	// Oracle checks every execution; nil installs the theorem-derived
+	// default for Algo (CrashExpectation / ByzantineExpectation).
+	Oracle *Oracle
+}
+
+// withDefaults normalizes the spec.
+func (s Spec) withDefaults() (Spec, error) {
+	if s.N <= 0 {
+		return s, fmt.Errorf("campaign: n must be positive, got %d", s.N)
+	}
+	if s.Executions <= 0 {
+		return s, fmt.Errorf("campaign: executions must be positive, got %d", s.Executions)
+	}
+	if s.Algo == "" {
+		s.Algo = AlgoCrash
+	}
+	if s.Generator == "" {
+		if s.Algo == AlgoByzantine {
+			s.Generator = GenByzUniform
+		} else {
+			s.Generator = GenMixed
+		}
+	}
+	if s.Generator.IsByz() != (s.Algo == AlgoByzantine) {
+		return s, fmt.Errorf("campaign: generator %q does not match algo %q", s.Generator, s.Algo)
+	}
+	if s.BigN == 0 {
+		if s.Algo == AlgoByzantine {
+			s.BigN = 8 * s.N
+		} else {
+			s.BigN = 16 * s.N
+		}
+	}
+	if s.Budget == 0 {
+		if s.Algo == AlgoByzantine {
+			// Stay inside the Theorem 1.3 hypothesis f < (1/3−ε₀)·n with
+			// the default ε₀ = 0.1, so the oracle's gated checks engage.
+			s.Budget = max(1, int(float64(s.N)*(1.0/3-0.1))-1)
+		} else {
+			s.Budget = s.N / 4
+		}
+	}
+	if s.Budget < 0 || s.Budget >= s.N {
+		return s, fmt.Errorf("campaign: budget %d out of range [0, n) for n=%d", s.Budget, s.N)
+	}
+	if s.CommitteeScale == 0 {
+		s.CommitteeScale = 0.02
+	}
+	if s.PoolProb == 0 {
+		s.PoolProb = 20.0 / float64(s.N)
+	}
+	if s.Oracle == nil {
+		o := s.defaultOracle()
+		s.Oracle = &o
+	}
+	return s, nil
+}
+
+func (s Spec) defaultOracle() Oracle {
+	switch s.Algo {
+	case AlgoByzantine:
+		return Oracle{Expect: ByzantineExpectation(s.BigN, s.Budget)}
+	case AlgoBaselineA2A:
+		// The baseline is strong and O(log n)-round but pays Θ(n²·log n)
+		// messages by design, so only correctness and the cap apply; the
+		// cap uses the same constant as ours (it sits near ratio 1.2).
+		return Oracle{Expect: Expectation{
+			RequireUnique:     true,
+			MessageCeiling:    CrashMessageCeiling(s.N),
+			CheckMessageFloor: true,
+		}}
+	default:
+		return Oracle{Expect: CrashExpectation(s.N)}
+	}
+}
+
+// ExecSeed returns the deterministic seed of execution i: fixed before
+// any worker starts, never influenced by scheduling.
+func (s Spec) ExecSeed(i int) int64 {
+	return sim.DeriveSeed(s.Seed, execLabel^uint64(i)<<8)
+}
+
+// genSpec is the generation envelope for one execution.
+func (s Spec) genSpec() GenSpec {
+	return GenSpec{
+		Kind:   s.Generator,
+		N:      s.N,
+		Budget: s.Budget,
+		Rounds: CrashRoundCeiling(s.N),
+	}
+}
+
+// Outcome is a completed campaign.
+type Outcome struct {
+	// Spec is the normalized spec the campaign ran with.
+	Spec Spec
+	// Records holds one runner record per execution, in execution order;
+	// Metrics.Violations carries each execution's oracle verdict codes.
+	Records []runner.Record
+	// Violations are the structured oracle breaches across the whole
+	// campaign, in execution order, each with its replayable strategy.
+	Violations []Violation
+	// Tails are the campaign's tail statistics vs the theorem envelopes.
+	Tails []Tail
+}
+
+// Run executes the campaign: Executions independent (config × strategy)
+// runs fanned across the runner worker pool, each checked by the
+// oracle, reduced to tail statistics. Execution failures (as opposed to
+// invariant violations) abort the campaign.
+func Run(spec Spec) (*Outcome, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Per-execution violation slots: each index is written by exactly
+	// one worker and runner.Run establishes the happens-before edge
+	// before returning.
+	violations := make([][]Violation, spec.Executions)
+
+	points := make([]runner.Point, spec.Executions)
+	for i := 0; i < spec.Executions; i++ {
+		i := i
+		points[i] = runner.Point{
+			Experiment: "campaign",
+			Name:       fmt.Sprintf("%s/%s/exec=%d", spec.Algo, spec.Generator, i),
+			Seed:       spec.ExecSeed(i),
+			FixedSeed:  true,
+			Params: map[string]string{
+				"algo": string(spec.Algo), "gen": string(spec.Generator),
+				"n": fmt.Sprint(spec.N), "N": fmt.Sprint(spec.BigN),
+				"budget": fmt.Sprint(spec.Budget), "exec": fmt.Sprint(i),
+			},
+			Run: func(seed int64) (runner.Metrics, error) {
+				strat, res, ids, err := executeOnce(spec, seed)
+				if err != nil {
+					return runner.Metrics{}, err
+				}
+				viols := spec.Oracle.Check(spec.N, ids, res)
+				for vi := range viols {
+					viols[vi].Exec = i
+					viols[vi].Seed = seed
+					viols[vi].Strategy = strat
+				}
+				violations[i] = viols
+				m := runner.FromResult(res, spec.N)
+				m.Violations = Codes(viols)
+				return m, nil
+			},
+		}
+	}
+	records, err := runner.Run(points, runner.Options{Workers: spec.Workers, Sinks: spec.Sinks})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range records {
+		if rec.Err != "" {
+			return nil, fmt.Errorf("campaign: exec %d (seed %d): %s", rec.Index, rec.Seed, rec.Err)
+		}
+	}
+	out := &Outcome{Spec: spec, Records: records}
+	for _, vs := range violations {
+		out.Violations = append(out.Violations, vs...)
+	}
+	out.Tails = Tails(spec, records)
+	return out, nil
+}
+
+// executeOnce generates the strategy for seed and runs one execution of
+// the configured algorithm against it, returning the strategy, the
+// result, and the original identities (for the oracle's order check).
+func executeOnce(spec Spec, seed int64) (Strategy, *renaming.Result, []int, error) {
+	strat, err := Generate(spec.genSpec(), seed)
+	if err != nil {
+		return Strategy{}, nil, nil, err
+	}
+	ids, err := renaming.GenerateIDs(spec.N, spec.BigN, renaming.IDsEven, seed)
+	if err != nil {
+		return Strategy{}, nil, nil, err
+	}
+	res, err := replayStrategy(spec, strat, seed, ids)
+	if err != nil {
+		return Strategy{}, nil, nil, err
+	}
+	return strat, res, ids, nil
+}
+
+// replayStrategy runs one execution of spec's algorithm against an
+// explicit strategy — the shared path between campaign execution and
+// artifact replay.
+func replayStrategy(spec Spec, strat Strategy, seed int64, ids []int) (*renaming.Result, error) {
+	switch spec.Algo {
+	case AlgoByzantine:
+		byz, err := strat.ByzMap()
+		if err != nil {
+			return nil, err
+		}
+		return renaming.RunByzantine(spec.N, renaming.ByzSpec{
+			N: spec.BigN, IDs: ids, Seed: seed,
+			PoolProb: spec.PoolProb, Byzantine: byz, Profile: true,
+		})
+	case AlgoBaselineA2A:
+		return renaming.RunBaseline(spec.N, renaming.BaselineSpec{
+			Kind: renaming.BaselineAllToAllCrash,
+			N:    spec.BigN, IDs: ids, Seed: seed, Fault: strat.Fault(),
+		})
+	default:
+		return renaming.RunCrash(spec.N, renaming.CrashSpec{
+			N: spec.BigN, IDs: ids, Seed: seed,
+			CommitteeScale: spec.CommitteeScale, EarlyStop: spec.EarlyStop,
+			Fault: strat.Fault(), Profile: true,
+		})
+	}
+}

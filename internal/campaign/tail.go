@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"math"
+
+	"renaming/internal/runner"
+	"renaming/internal/sim"
+	"renaming/internal/stats"
+)
+
+// bootLabel is the DeriveSeed stream label for bootstrap resampling
+// ("boot").
+const bootLabel uint64 = 0x626f6f74
+
+// bootResamples is the bootstrap resample count for the p99 CI.
+const bootResamples = 500
+
+// EnvelopeConstant is the w.h.p. message-envelope constant for
+// Theorem 1.2: an execution with f actual crashes is "inside the
+// envelope" while honest messages ≤ EnvelopeConstant·(f+log n)·n·log n.
+// Randomized mixed-generator campaigns measured the worst per-execution
+// ratio at ≈42 (n=64), ≈57 (n=128), ≈56 (n=256) and ≈41 (n=1024) —
+// flat-to-decreasing in n, confirming the asymptotics; 128 gives the
+// observed worst ≈2.2× headroom while still catching a blow-up of the
+// O((f+log n)·n·log n) shape itself.
+const EnvelopeConstant = 128
+
+// Tail is the tail summary of one campaign metric: nearest-rank
+// quantiles, the maximum, a seeded bootstrap CI for the p99, and the
+// theorem envelope the tail is compared against (0 = no envelope).
+type Tail struct {
+	Metric string  `json:"metric"`
+	Count  int     `json:"count"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+	// P99CI is a 95% percentile-bootstrap confidence interval for the
+	// p99, seeded from the campaign seed.
+	P99CI stats.CI `json:"p99CI"`
+	// Envelope is the theorem bound this metric is checked against;
+	// 0 means the metric carries no envelope (reported for scale only).
+	Envelope float64 `json:"envelope,omitempty"`
+	// WithinEnvelope is Max ≤ Envelope (trivially true without one):
+	// with the *maximum* inside the envelope, every quantile is too.
+	WithinEnvelope bool `json:"withinEnvelope"`
+}
+
+// Tails reduces a campaign's records to tail statistics per metric. The
+// metrics and their envelopes:
+//
+//   - rounds vs the deterministic round ceiling (crash algo),
+//   - honestMessages vs the w.h.p. model EnvelopeConstant·(f+log n)·n·log n
+//     evaluated at each execution's own f (reported as envelopeRatio ≤ 1),
+//   - honestBits, crashes/byzantine: scale only, no envelope.
+func Tails(spec Spec, records []runner.Record) []Tail {
+	n := float64(spec.N)
+	logn := math.Log2(math.Max(2, n))
+	var rounds, msgs, bits, faults, iters, ratios []float64
+	for _, rec := range records {
+		m := rec.Metrics
+		rounds = append(rounds, float64(m.Rounds))
+		msgs = append(msgs, float64(m.HonestMessages))
+		bits = append(bits, float64(m.HonestBits))
+		f := float64(m.Crashes + m.Byzantine)
+		faults = append(faults, f)
+		iters = append(iters, float64(m.Iterations))
+		model := EnvelopeConstant * (f + logn) * n * logn
+		ratios = append(ratios, float64(m.HonestMessages)/model)
+	}
+
+	tails := []Tail{
+		tailOf("rounds", rounds, float64(spec.Oracle.Expect.RoundCeiling), spec.Seed),
+		tailOf("honestMessages", msgs, float64(spec.Oracle.Expect.MessageCeiling), spec.Seed),
+		tailOf("honestBits", bits, 0, spec.Seed),
+		tailOf("faults", faults, float64(spec.Budget), spec.Seed),
+	}
+	if spec.Algo == AlgoByzantine {
+		// Lemma 3.10's divide-and-conquer iteration bound is the
+		// Theorem 1.3 time envelope.
+		tails = append(tails, tailOf("iterations", iters,
+			float64(spec.Oracle.Expect.IterationCeiling), spec.Seed))
+	} else {
+		// The w.h.p. envelope of Theorem 1.2 is per-execution (it depends
+		// on each run's own f), so it is aggregated as a ratio: ≤ 1 means
+		// inside the envelope.
+		tails = append(tails, tailOf("envelopeRatio", ratios, 1, spec.Seed))
+	}
+	return tails
+}
+
+func tailOf(metric string, xs []float64, envelope float64, seed int64) Tail {
+	t := Tail{
+		Metric:   metric,
+		Count:    len(xs),
+		P50:      stats.Quantile(xs, 0.50),
+		P95:      stats.Quantile(xs, 0.95),
+		P99:      stats.Quantile(xs, 0.99),
+		Max:      stats.Quantile(xs, 1),
+		Envelope: envelope,
+	}
+	t.P99CI = stats.BootstrapQuantileCI(xs, 0.99, 0.95, bootResamples,
+		sim.DeriveSeed(seed, bootLabel^labelOf(metric)))
+	t.WithinEnvelope = envelope <= 0 || t.Max <= envelope
+	return t
+}
+
+// labelOf derives a distinct bootstrap stream label per metric name so
+// two metrics never share resampling randomness.
+func labelOf(metric string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(metric); i++ {
+		h ^= uint64(metric[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -51,19 +51,19 @@ type Point struct {
 // Extra carries experiment-specific scalars (success rates, fitted
 // budgets) for points that are not a single simulator run.
 type Metrics struct {
-	Rounds           int              `json:"rounds,omitempty"`
-	Messages         int64            `json:"messages,omitempty"`
-	Bits             int64            `json:"bits,omitempty"`
-	HonestMessages   int64            `json:"honestMessages,omitempty"`
-	HonestBits       int64            `json:"honestBits,omitempty"`
-	MaxMessageBits   int              `json:"maxMessageBits,omitempty"`
-	MaxNodeSent      int64            `json:"maxNodeSent,omitempty"`
-	MaxNodeReceived  int64            `json:"maxNodeReceived,omitempty"`
-	OversizeMessages int64            `json:"oversizeMessages,omitempty"`
-	Crashes          int              `json:"crashes,omitempty"`
-	Byzantine        int              `json:"byzantine,omitempty"`
-	CommitteeSize    int              `json:"committeeSize,omitempty"`
-	Iterations       int              `json:"iterations,omitempty"`
+	Rounds           int   `json:"rounds,omitempty"`
+	Messages         int64 `json:"messages,omitempty"`
+	Bits             int64 `json:"bits,omitempty"`
+	HonestMessages   int64 `json:"honestMessages,omitempty"`
+	HonestBits       int64 `json:"honestBits,omitempty"`
+	MaxMessageBits   int   `json:"maxMessageBits,omitempty"`
+	MaxNodeSent      int64 `json:"maxNodeSent,omitempty"`
+	MaxNodeReceived  int64 `json:"maxNodeReceived,omitempty"`
+	OversizeMessages int64 `json:"oversizeMessages,omitempty"`
+	Crashes          int   `json:"crashes,omitempty"`
+	Byzantine        int   `json:"byzantine,omitempty"`
+	CommitteeSize    int   `json:"committeeSize,omitempty"`
+	Iterations       int   `json:"iterations,omitempty"`
 	// The three guarantee booleans are never omitted: a run that violates
 	// a guarantee (e.g. unique=false) is precisely the record an artifact
 	// reader must be able to distinguish from "not measured".
@@ -79,6 +79,13 @@ type Metrics struct {
 	Trace *renaming.RoundStats `json:"trace,omitempty"`
 	// Extra carries experiment-specific scalars.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Violations lists invariant-oracle verdicts for points checked by a
+	// campaign oracle (internal/campaign): one short code per violated
+	// invariant, e.g. "uniqueness" or "round-ceiling". Empty/absent means
+	// the execution passed every enabled check. JSONL-only (the CSV
+	// column set is fixed); full structured violation records, including
+	// the replayable strategy, live in the campaign outcome.
+	Violations []string `json:"violations,omitempty"`
 }
 
 // FromResult converts a renaming execution result into runner metrics.

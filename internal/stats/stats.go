@@ -8,6 +8,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"sort"
 )
 
@@ -121,6 +122,92 @@ func Summarize(xs []float64) Summary {
 		s.Median = (sorted[mid-1] + sorted[mid]) / 2
 	}
 	return s
+}
+
+// Quantile returns the q-quantile of xs by the nearest-rank convention:
+// the smallest element x such that at least ceil(q·len(xs)) elements are
+// ≤ x. q is clamped to [0, 1]; q=0 yields the minimum, q=1 the maximum.
+// Nearest-rank never interpolates, so a reported p99 is always a value
+// that actually occurred — the right convention for tail envelopes,
+// where an invented between-samples value would understate the worst
+// observed execution. NaN on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over already-sorted data (the bootstrap
+// resamples call it in a loop).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Lo, Hi float64
+}
+
+// BootstrapQuantileCI estimates a percentile-method confidence interval
+// for the q-quantile of xs by seeded nonparametric bootstrap: resamples
+// draws of len(xs) with replacement, the q-quantile of each, and the
+// (α/2, 1−α/2) quantiles of those estimates at confidence conf (e.g.
+// 0.95). Deterministic in the seed. NaN bounds on empty input or
+// resamples < 1.
+func BootstrapQuantileCI(xs []float64, q, conf float64, resamples int, seed int64) CI {
+	return bootstrapCI(xs, conf, resamples, seed, func(sorted []float64) float64 {
+		return quantileSorted(sorted, q)
+	})
+}
+
+// BootstrapMeanCI is BootstrapQuantileCI for the mean.
+func BootstrapMeanCI(xs []float64, conf float64, resamples int, seed int64) CI {
+	return bootstrapCI(xs, conf, resamples, seed, func(sorted []float64) float64 {
+		sum := 0.0
+		for _, x := range sorted {
+			sum += x
+		}
+		return sum / float64(len(sorted))
+	})
+}
+
+func bootstrapCI(xs []float64, conf float64, resamples int, seed int64,
+	stat func(sorted []float64) float64) CI {
+	if len(xs) == 0 || resamples < 1 {
+		return CI{Lo: math.NaN(), Hi: math.NaN()}
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	estimates := make([]float64, resamples)
+	resample := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		sort.Float64s(resample)
+		estimates[r] = stat(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - conf) / 2
+	return CI{
+		Lo: quantileSorted(estimates, alpha),
+		Hi: quantileSorted(estimates, 1-alpha),
+	}
 }
 
 // GeometricMeanRatio returns the geometric mean of ys[i]/xs[i] — a

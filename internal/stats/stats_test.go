@@ -87,6 +87,77 @@ func TestGeometricMeanRatio(t *testing.T) {
 	}
 }
 
+func TestQuantileNearestRank(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // sorted: 10 20 30 40
+	cases := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{"min", 0, 10},
+		{"below-min-clamped", -0.5, 10},
+		{"p25-rank1", 0.25, 10},
+		{"p50-rank2", 0.5, 20},
+		{"p51-rank3", 0.51, 30},
+		{"p75-rank3", 0.75, 30},
+		{"p99-rank4", 0.99, 40},
+		{"max", 1, 40},
+		{"above-max-clamped", 1.5, 40},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty input should be NaN")
+	}
+	// Nearest-rank never interpolates: every result is an element of xs.
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := Quantile(xs, q)
+		found := false
+		for _, x := range xs {
+			if got == x {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Quantile(%f) = %v not an element", q, got)
+		}
+	}
+}
+
+func TestBootstrapCIs(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ci := BootstrapQuantileCI(xs, 0.5, 0.95, 400, 7)
+	if ci.Lo > 99.5 || ci.Hi < 99.5 {
+		t.Fatalf("median CI [%v, %v] excludes the true median 99.5", ci.Lo, ci.Hi)
+	}
+	if ci.Lo < 0 || ci.Hi > 199 {
+		t.Fatalf("CI [%v, %v] outside data range", ci.Lo, ci.Hi)
+	}
+	mean := BootstrapMeanCI(xs, 0.95, 400, 7)
+	if mean.Lo > 99.5 || mean.Hi < 99.5 {
+		t.Fatalf("mean CI [%v, %v] excludes the true mean 99.5", mean.Lo, mean.Hi)
+	}
+	// Deterministic in the seed; different seeds resample differently.
+	again := BootstrapQuantileCI(xs, 0.5, 0.95, 400, 7)
+	if ci != again {
+		t.Fatalf("same seed gave %v then %v", ci, again)
+	}
+	other := BootstrapQuantileCI(xs, 0.5, 0.95, 400, 8)
+	if ci == other {
+		t.Fatal("different seeds gave identical CIs (suspicious)")
+	}
+	empty := BootstrapQuantileCI(nil, 0.5, 0.95, 100, 1)
+	if !math.IsNaN(empty.Lo) || !math.IsNaN(empty.Hi) {
+		t.Fatalf("empty input CI = %v, want NaNs", empty)
+	}
+}
+
 // TestQuickFitRecoversLine: LinearFit recovers arbitrary lines exactly on
 // noise-free data.
 func TestQuickFitRecoversLine(t *testing.T) {

@@ -37,9 +37,17 @@ type FaultSpec struct {
 	Round    int
 	Nodes    []int
 	Interval int // committee-killer cadence; 0 = every round
+	// Custom, when non-nil, is used verbatim and takes precedence over
+	// Kind. Stateful adversaries are good for one execution, so callers
+	// running sweeps must construct a fresh value per run (the campaign
+	// engine does this inside each point closure).
+	Custom sim.CrashAdversary
 }
 
 func (spec FaultSpec) build(seed int64) sim.CrashAdversary {
+	if spec.Custom != nil {
+		return spec.Custom
+	}
 	switch spec.Kind {
 	case FaultRandom:
 		return &adversary.RandomCrashes{
