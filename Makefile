@@ -14,6 +14,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./... -short -race
 	$(GO) test -run '^$$' -bench StepRound -benchtime 1x ./internal/sim
+	$(GO) test -run '^$$' -bench ByzStepRound -benchtime 1x .
 	$(GO) run ./cmd/campaign -algo crash -n 64 -execs 50 -seed 1
 
 build:
@@ -32,8 +33,11 @@ race:
 cover:
 	$(GO) test -short -cover ./...
 
+# Full benchmark sweep. The raw text passes through unchanged; every
+# Byzantine-path benchmark additionally lands in BENCH_byz.json, the
+# structured before/after ledger (cmd/benchjson).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -match Byz -out BENCH_byz.json
 
 # Regenerate every table/figure of the reproduction (minutes).
 experiments:

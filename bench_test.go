@@ -238,7 +238,7 @@ func BenchmarkByzantineVsF(b *testing.B) {
 // BenchmarkByzantineVsN is E5n: quasi-linear growth in n at fixed f.
 func BenchmarkByzantineVsN(b *testing.B) {
 	byz := map[int]renaming.Behavior{1: renaming.BehaviorSplitWorld, 4: renaming.BehaviorSplitWorld}
-	for _, n := range []int{48, 96} {
+	for _, n := range []int{48, 96, 256, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var res *renaming.Result
 			var err error

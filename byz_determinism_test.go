@@ -1,0 +1,58 @@
+package renaming_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"renaming"
+)
+
+// byzGoldenFingerprint pins the complete telemetry (JSON-marshalled
+// Result, including per-round traffic profile) of one adversarial
+// Byzantine execution at n = 256 with three attacker behaviours active,
+// among them a rushing equivocator. Update it only for a deliberate
+// behaviour change, never for a performance change: every engine or
+// algorithm optimisation must reproduce this byte-for-byte.
+const byzGoldenFingerprint = "da7a9623c7dd761709621943a28a9cf701931cbb8029943218bdae087bd2c171"
+
+// TestByzantineDeterminism runs the same adversarial execution with the
+// round engine pinned to 1 worker and to 8 workers and requires both to
+// match the golden fingerprint. The 1-worker run exercises the
+// coordinator-only fast paths (stepped-sender walks, zero-offset
+// delivery); the 8-worker run exercises the sharded phases, barriers,
+// and counting-sort delivery. Identical hashes prove the parallel engine
+// is observationally equivalent to the sequential one on a workload with
+// rushing adversaries, mid-protocol recursion, and shared broadcasts —
+// the regression oracle the perf work is measured against.
+func TestByzantineDeterminism(t *testing.T) {
+	byz := map[int]renaming.Behavior{
+		1: renaming.BehaviorSplitWorld,
+		4: renaming.BehaviorEquivocate,
+		9: renaming.BehaviorRushingEquivocate,
+	}
+	for _, workers := range []int{1, 8} {
+		res, err := renaming.RunByzantine(256, renaming.ByzSpec{
+			Seed:          77,
+			PoolProb:      20.0 / 256,
+			Byzantine:     byz,
+			Profile:       true,
+			EngineWorkers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Unique {
+			t.Fatalf("workers=%d: honest nodes did not rename uniquely", workers)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		sum := sha256.Sum256(blob)
+		if got := hex.EncodeToString(sum[:]); got != byzGoldenFingerprint {
+			t.Errorf("workers=%d: telemetry fingerprint %s, want %s", workers, got, byzGoldenFingerprint)
+		}
+	}
+}

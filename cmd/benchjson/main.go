@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output into a structured
+// JSON artifact while passing the text through unchanged, so it drops
+// into a pipe:
+//
+//	go test -run '^$' -bench Byz -benchmem . | benchjson -out BENCH_byz.json
+//
+// Each Benchmark line becomes one record with the benchmark name (the
+// -P GOMAXPROCS suffix stripped), the iteration count, and every
+// value/unit metric pair (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units such as msgs/round). `make bench` uses it to
+// refresh BENCH_byz.json, the before/after ledger of the Byzantine-path
+// performance work.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed Benchmark line.
+type Record struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "write the JSON artifact to this path (stdout keeps the raw text)")
+	match := flag.String("match", "", "only record benchmarks whose name contains this substring")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		rec, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if *match != "" && !strings.Contains(rec.Name, *match) {
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if *out == "" {
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Benchmarks []Record `json:"benchmarks"`
+	}{records}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(records), *out)
+	return nil
+}
+
+// parseBenchLine parses the standard bench output shape
+//
+//	BenchmarkName/sub-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// returning ok=false for any other line (headers, PASS/ok, failures).
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Metrics: make(map[string]float64)}
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Name, rec.Procs = rec.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = value
+	}
+	return rec, true
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"renaming/internal/experiments"
+	"renaming/internal/profiling"
 	"renaming/internal/runner"
 )
 
@@ -54,7 +55,14 @@ func run() error {
 	csvPath := flag.String("csv", "", "also write records as CSV to this path")
 	resume := flag.Bool("resume", false, "replay points already recorded in -out instead of re-running them")
 	seed := flag.Int64("seed", 0, "sweep seed remixing every canonical point seed (0 keeps the canonical seeds of EXPERIMENTS.md)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
 
 	cfg := experiments.Config{
 		Quick:     *quick,
@@ -159,5 +167,5 @@ func run() error {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "telemetry artifact: %s\n", *out)
 	}
-	return nil
+	return stopProfiles()
 }

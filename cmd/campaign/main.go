@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"renaming/internal/campaign"
+	"renaming/internal/profiling"
 	"renaming/internal/runner"
 )
 
@@ -39,27 +40,40 @@ func main() {
 
 func run() (int, error) {
 	var (
-		algo      = flag.String("algo", "crash", "crash | byzantine | baseline-a2a")
-		n         = flag.Int("n", 256, "number of nodes")
-		bigN      = flag.Int("N", 0, "original namespace size (default 16·n, byzantine 8·n)")
-		execs     = flag.Int("execs", 500, "number of randomized executions")
-		seed      = flag.Int64("seed", 1, "campaign master seed (all strategies and executions derive from it)")
-		gen       = flag.String("gen", "", "strategy generator: early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent (default mixed / byz-uniform)")
-		budget    = flag.Int("budget", 0, "max crashes / Byzantine nodes per execution (default n/4, byzantine assumption bound)")
-		scale     = flag.Float64("committee-scale", 0, "crash election-constant scale (default 0.02)")
-		poolProb  = flag.Float64("pool-prob", 0, "Byzantine candidate-pool probability (default 20/n)")
-		workers   = flag.Int("workers", 0, "concurrent executions (default GOMAXPROCS); artifacts are byte-identical at any count")
-		outPath   = flag.String("out", "", "append one JSONL telemetry record per execution (docs/OBSERVABILITY.md)")
-		shrinkDir = flag.String("shrink-dir", "", "shrink the first violation of each invariant to a replayable artifact in this directory")
-		replay    = flag.String("replay", "", "replay a shrunk artifact instead of running a campaign")
-		roundCeil = flag.Int("round-ceiling", 0, "override the oracle's round ceiling (demo/debug; 0 = theorem bound)")
-		asJSON    = flag.Bool("json", false, "emit the outcome summary (tails + violations) as JSON")
-		progress  = flag.Bool("progress", false, "live progress line on stderr")
+		algo       = flag.String("algo", "crash", "crash | byzantine | baseline-a2a")
+		n          = flag.Int("n", 256, "number of nodes")
+		bigN       = flag.Int("N", 0, "original namespace size (default 16·n, byzantine 8·n)")
+		execs      = flag.Int("execs", 500, "number of randomized executions")
+		seed       = flag.Int64("seed", 1, "campaign master seed (all strategies and executions derive from it)")
+		gen        = flag.String("gen", "", "strategy generator: early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent (default mixed / byz-uniform)")
+		budget     = flag.Int("budget", 0, "max crashes / Byzantine nodes per execution (default n/4, byzantine assumption bound)")
+		scale      = flag.Float64("committee-scale", 0, "crash election-constant scale (default 0.02)")
+		poolProb   = flag.Float64("pool-prob", 0, "Byzantine candidate-pool probability (default 20/n)")
+		workers    = flag.Int("workers", 0, "concurrent executions (default GOMAXPROCS); artifacts are byte-identical at any count")
+		outPath    = flag.String("out", "", "append one JSONL telemetry record per execution (docs/OBSERVABILITY.md)")
+		shrinkDir  = flag.String("shrink-dir", "", "shrink the first violation of each invariant to a replayable artifact in this directory")
+		replay     = flag.String("replay", "", "replay a shrunk artifact instead of running a campaign")
+		roundCeil  = flag.Int("round-ceiling", 0, "override the oracle's round ceiling (demo/debug; 0 = theorem bound)")
+		asJSON     = flag.Bool("json", false, "emit the outcome summary (tails + violations) as JSON")
+		progress   = flag.Bool("progress", false, "live progress line on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this path (go tool pprof)")
 	)
 	flag.Parse()
 
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return 0, err
+	}
+
 	if *replay != "" {
-		return replayArtifact(*replay, *asJSON)
+		code, err := replayArtifact(*replay, *asJSON)
+		if err == nil {
+			if perr := stopProfiles(); perr != nil {
+				return 0, perr
+			}
+		}
+		return code, err
 	}
 
 	spec := campaign.Spec{
@@ -140,6 +154,9 @@ func run() (int, error) {
 	// Volatile provenance goes to stderr so stdout diffs cleanly across
 	// runs and worker counts (same convention as cmd/benchtables).
 	fmt.Fprintf(os.Stderr, "campaign: %d executions in %s\n", outcome.Spec.Executions, elapsed)
+	if err := stopProfiles(); err != nil {
+		return 0, err
+	}
 	if len(outcome.Violations) > 0 {
 		return 1, nil
 	}

@@ -13,7 +13,11 @@
 // Dolev–Strong rely on.
 package auth
 
-import "renaming/internal/sim"
+import (
+	"sync"
+
+	"renaming/internal/sim"
+)
 
 // Signature is a MAC-style tag over a digest.
 type Signature uint64
@@ -50,6 +54,75 @@ func (a *Authority) Verify(node int, digest uint64, sig Signature) bool {
 	return mac(a.secrets[node], digest) == sig
 }
 
+// Verifier abstracts signature verification so protocol code can run
+// against either the Authority directly or a memoizing view of it.
+type Verifier interface {
+	Verify(node int, digest uint64, sig Signature) bool
+}
+
+var (
+	_ Verifier = (*Authority)(nil)
+	_ Verifier = (*Memo)(nil)
+)
+
+// Memo is a verification cache in front of the Authority: a signature
+// chain relayed to all n recipients is verified once, not n times.
+// Entries are only ever computed by the Memo itself against the trusted
+// Authority — there is no insertion API — so Byzantine node code holding
+// a Memo can query but never poison it. Verification is a pure function
+// of (node, digest, sig), which keeps shared use across nodes sound.
+//
+// Memo is safe for concurrent use: nodes step in parallel inside the
+// round engine. Reset between rounds (sim.WithRoundEnd) bounds the cache
+// to one round's working set.
+type Memo struct {
+	authority *Authority
+
+	mu    sync.RWMutex
+	cache map[memoKey]bool
+}
+
+type memoKey struct {
+	node   int
+	digest uint64
+	sig    Signature
+}
+
+// NewMemo returns an empty verification memo over the authority.
+func (a *Authority) NewMemo() *Memo {
+	return &Memo{authority: a, cache: make(map[memoKey]bool)}
+}
+
+// Verify implements Verifier, caching the authority's verdict.
+func (m *Memo) Verify(node int, digest uint64, sig Signature) bool {
+	key := memoKey{node: node, digest: digest, sig: sig}
+	m.mu.RLock()
+	v, ok := m.cache[key]
+	m.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = m.authority.Verify(node, digest, sig)
+	m.mu.Lock()
+	m.cache[key] = v
+	m.mu.Unlock()
+	return v
+}
+
+// Reset discards all cached verdicts.
+func (m *Memo) Reset() {
+	m.mu.Lock()
+	clear(m.cache)
+	m.mu.Unlock()
+}
+
+// Len returns the number of cached verdicts (for tests and telemetry).
+func (m *Memo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.cache)
+}
+
 // Signer signs digests on behalf of one node.
 type Signer struct {
 	node   int
@@ -64,13 +137,25 @@ func (s Signer) Sign(digest uint64) Signature {
 	return mac(s.secret, digest)
 }
 
+// DigestInit is the initial accumulator of Digest. Together with
+// DigestFold it exposes the digest's sequential structure, so verifiers
+// of signature chains can keep one running accumulator instead of
+// re-hashing every prefix from scratch.
+const DigestInit uint64 = 0x64696765 // "dige"
+
+// DigestFold extends a running digest with one part. Digest(parts...)
+// equals folding DigestInit over parts in order.
+func DigestFold(acc, part uint64) uint64 {
+	return sim.SplitMix64(acc ^ part)
+}
+
 // Digest folds message fields into a single value for signing. The
 // mixing is collision-resistant enough for simulation purposes (the
 // adversary in scope manipulates protocols, not the hash).
 func Digest(parts ...uint64) uint64 {
-	acc := uint64(0x64696765) // "dige"
+	acc := DigestInit
 	for _, p := range parts {
-		acc = sim.SplitMix64(acc ^ p)
+		acc = DigestFold(acc, p)
 	}
 	return acc
 }

@@ -52,6 +52,19 @@ type AllToAllByzNode struct {
 
 	view   map[int]interval.Interval // present identity → computed interval
 	halted bool
+
+	// Per-phase scratch, reused across phases so the steady state does not
+	// re-allocate. echoBuf rides inside an EchoPayload; see
+	// collectStatusesInto for why the one-round slack makes that safe.
+	echoBuf     []StatusPayload
+	counts      map[int]int // identity → echoed views this phase
+	seen        map[int]int // identity → last echo that counted it
+	echoEpoch   int
+	present     map[int]bool
+	spareView   map[int]interval.Interval // next view under construction
+	ids         []int
+	rankSoFar   map[interval.Interval]int
+	subBotCache map[interval.Interval]int
 }
 
 var _ sim.Node = (*AllToAllByzNode)(nil)
@@ -114,35 +127,43 @@ func (node *AllToAllByzNode) Step(round int, inbox []sim.Message) sim.Outbox {
 		})
 	}
 	// Echo round: rebroadcast the received view.
-	return sim.Broadcast(node.idx, node.n, EchoPayload{Statuses: collectStatuses(inbox)})
+	node.echoBuf = collectStatusesInto(node.echoBuf, inbox)
+	return sim.Broadcast(node.idx, node.n, EchoPayload{Statuses: node.echoBuf})
 }
 
 // confirmedPresent returns the identities whose status this phase was
-// echoed by at least ⌈2n/3⌉ views.
+// echoed by at least ⌈2n/3⌉ views. Scratch maps are pooled: dedup within
+// one echoed view uses an epoch stamp per identity instead of a fresh set
+// per message.
 func (node *AllToAllByzNode) confirmedPresent(inbox []sim.Message) map[int]bool {
 	threshold := (2*node.n + 2) / 3
-	counts := make(map[int]int)
+	if node.counts == nil {
+		node.counts = make(map[int]int)
+		node.seen = make(map[int]int)
+		node.present = make(map[int]bool)
+	}
+	clear(node.counts)
+	clear(node.present)
 	for _, msg := range inbox {
 		echo, ok := msg.Payload.(EchoPayload)
 		if !ok {
 			continue
 		}
-		perID := make(map[int]bool)
+		node.echoEpoch++
 		for _, s := range echo.Statuses {
-			if s.ID < 1 || s.ID > node.cfg.N || perID[s.ID] {
+			if s.ID < 1 || s.ID > node.cfg.N || node.seen[s.ID] == node.echoEpoch {
 				continue
 			}
-			perID[s.ID] = true
-			counts[s.ID]++
+			node.seen[s.ID] = node.echoEpoch
+			node.counts[s.ID]++
 		}
 	}
-	present := make(map[int]bool, len(counts))
-	for id, c := range counts {
+	for id, c := range node.counts {
 		if c >= threshold {
-			present[id] = true
+			node.present[id] = true
 		}
 	}
-	return present
+	return node.present
 }
 
 // applyPhase updates the shared view: first presence (initial adoption or
@@ -162,36 +183,49 @@ func (node *AllToAllByzNode) applyPhase(present map[int]bool) {
 			delete(node.view, id) // dropped out: gone for good
 		}
 	}
-	ids := make([]int, 0, len(node.view))
+	ids := node.ids[:0]
 	for id := range node.view {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	next := make(map[int]interval.Interval, len(node.view))
+	node.ids = ids
+	if node.spareView == nil {
+		node.spareView = make(map[int]interval.Interval, len(node.view))
+		node.rankSoFar = make(map[interval.Interval]int)
+		node.subBotCache = make(map[interval.Interval]int)
+	}
+	next := node.spareView
+	clear(next)
+	clear(node.rankSoFar)
+	clear(node.subBotCache)
 	for _, id := range ids {
 		iv := node.view[id]
 		if iv.Unit() {
 			next[id] = iv
 			continue
 		}
-		var sameIDs []int
-		subBot := 0
+		// ids is sorted, so the running per-interval counter reproduces the
+		// rank of id within the sorted list of identities sharing iv, and
+		// subBot depends only on iv — computed once per distinct interval
+		// instead of per identity (O(K·G) for G distinct intervals, not K²).
+		rank := node.rankSoFar[iv] + 1
+		node.rankSoFar[iv] = rank
 		bot := iv.Bot()
-		for _, other := range ids {
-			o := node.view[other]
-			if o == iv {
-				sameIDs = append(sameIDs, other)
+		subBot, cached := node.subBotCache[iv]
+		if !cached {
+			for _, other := range ids {
+				if bot.Contains(node.view[other]) {
+					subBot++
+				}
 			}
-			if bot.Contains(o) {
-				subBot++
-			}
+			node.subBotCache[iv] = subBot
 		}
-		rank := sort.SearchInts(sameIDs, id) + 1
 		if subBot+rank <= bot.Size() {
 			next[id] = bot
 		} else {
 			next[id] = iv.Top()
 		}
 	}
+	node.spareView = node.view
 	node.view = next
 }

@@ -52,6 +52,8 @@ type AllToAllCrashNode struct {
 	iv     interval.Interval
 	d      int
 	halted bool
+
+	statusBuf []StatusPayload // collection scratch, reused every phase
 }
 
 var _ sim.Node = (*AllToAllCrashNode)(nil)
@@ -84,7 +86,8 @@ func (node *AllToAllCrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 		return nil
 	}
 	if round > 0 {
-		node.applyHalving(collectStatuses(inbox))
+		node.statusBuf = collectStatusesInto(node.statusBuf, inbox)
+		node.applyHalving(node.statusBuf)
 	}
 	if round >= node.cfg.Phases() {
 		node.halted = true
@@ -132,14 +135,20 @@ func (node *AllToAllCrashNode) applyHalving(statuses []StatusPayload) {
 	node.d++
 }
 
-func collectStatuses(inbox []sim.Message) []StatusPayload {
-	var statuses []StatusPayload
+// collectStatusesInto appends the inbox's status payloads to buf[:0] and
+// returns it, so per-node scratch is reused across phases. Callers that
+// ship the result inside an EchoPayload rely on the one-round slack before
+// the buffer is rewritten: an echo built in round r is previewed by
+// rushers in round r and read by recipients in round r+1, while its owner
+// does not collect again until round r+2.
+func collectStatusesInto(buf []StatusPayload, inbox []sim.Message) []StatusPayload {
+	buf = buf[:0]
 	for _, msg := range inbox {
 		if s, ok := msg.Payload.(StatusPayload); ok {
-			statuses = append(statuses, s)
+			buf = append(buf, s)
 		}
 	}
-	return statuses
+	return buf
 }
 
 func bitsFor(maxValue int) int {

@@ -35,6 +35,7 @@ type LiarNode struct {
 	rng        *rand.Rand
 	lie        interval.Interval
 	d          int
+	echoBuf    []StatusPayload // echo scratch, reused (one-round slack)
 }
 
 var _ sim.Node = (*LiarNode)(nil)
@@ -67,7 +68,8 @@ func (node *LiarNode) Step(round int, inbox []sim.Message) sim.Outbox {
 			ID: node.id, I: node.lie, D: node.d, SizeN: node.cfg.N, Small: node.n,
 		})
 	}
-	return sim.Broadcast(node.idx, node.n, EchoPayload{Statuses: collectStatuses(inbox)})
+	node.echoBuf = collectStatusesInto(node.echoBuf, inbox)
+	return sim.Broadcast(node.idx, node.n, EchoPayload{Statuses: node.echoBuf})
 }
 
 // Output implements sim.Node.

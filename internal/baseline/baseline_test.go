@@ -166,7 +166,7 @@ func TestConsensusRenameHonest(t *testing.T) {
 	nodes := make([]*ConsensusRenameNode, n)
 	simNodes := make([]sim.Node, n)
 	for i := range nodes {
-		nodes[i] = NewConsensusRenameNode(dsCfg, i, authority)
+		nodes[i] = NewConsensusRenameNode(dsCfg, i, authority, nil)
 		simNodes[i] = nodes[i]
 	}
 	nw := sim.NewNetwork(simNodes)
@@ -203,7 +203,7 @@ func TestConsensusRenameUnderAttack(t *testing.T) {
 			}
 			continue
 		}
-		nodes[i] = NewConsensusRenameNode(dsCfg, i, authority)
+		nodes[i] = NewConsensusRenameNode(dsCfg, i, authority, nil)
 		simNodes[i] = nodes[i]
 	}
 	nw := sim.NewNetwork(simNodes, sim.WithByzantine(byzLinks))

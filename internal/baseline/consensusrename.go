@@ -53,6 +53,8 @@ type ConsensusRenameNode struct {
 	authority  *auth.Authority
 
 	instances []*consensus.DSBroadcast
+	byInst    [][]consensus.DSMsg // per-round routing scratch, reused
+	out       sim.Outbox          // outbox scratch, reused across rounds
 	newID     int
 	decided   bool
 	halted    bool
@@ -61,9 +63,16 @@ type ConsensusRenameNode struct {
 var _ sim.Node = (*ConsensusRenameNode)(nil)
 
 // NewConsensusRenameNode constructs the node at link index idx.
-// The authority must be shared across the whole network.
-func NewConsensusRenameNode(cfg ConsensusRenameConfig, idx int, authority *auth.Authority) *ConsensusRenameNode {
+// The authority must be shared across the whole network; verifier is the
+// signature verifier handed to the Dolev–Strong instances — pass the
+// authority itself, or a shared auth.Memo (reset each round via
+// sim.WithRoundEnd) so each relayed chain is verified once network-wide
+// instead of once per recipient. nil defaults to the authority.
+func NewConsensusRenameNode(cfg ConsensusRenameConfig, idx int, authority *auth.Authority, verifier auth.Verifier) *ConsensusRenameNode {
 	n := len(cfg.IDs)
+	if verifier == nil {
+		verifier = authority
+	}
 	participants := make([]int, n)
 	for i := range participants {
 		participants[i] = i
@@ -71,12 +80,13 @@ func NewConsensusRenameNode(cfg ConsensusRenameConfig, idx int, authority *auth.
 	node := &ConsensusRenameNode{
 		idx: idx, id: cfg.IDs[idx], n: n, cfg: cfg, authority: authority,
 		instances: make([]*consensus.DSBroadcast, n),
+		byInst:    make([][]consensus.DSMsg, n),
 	}
 	t := cfg.FaultBound()
 	signer := authority.Signer(idx)
 	for sender := 0; sender < n; sender++ {
 		node.instances[sender] = consensus.NewDSBroadcast(
-			sender, idx, participants, sender, t, authority, signer, uint64(cfg.IDs[idx]))
+			sender, idx, participants, sender, t, verifier, signer, uint64(cfg.IDs[idx]))
 	}
 	return node
 }
@@ -97,7 +107,9 @@ func (node *ConsensusRenameNode) Step(round int, inbox []sim.Message) sim.Outbox
 	if node.halted {
 		return nil
 	}
-	perInstance := make(map[int][]consensus.DSMsg)
+	for i := range node.byInst {
+		node.byInst[i] = node.byInst[i][:0]
+	}
 	for _, msg := range inbox {
 		p, ok := msg.Payload.(DSPayload)
 		if !ok || p.Msg.Instance < 0 || p.Msg.Instance >= node.n {
@@ -105,20 +117,26 @@ func (node *ConsensusRenameNode) Step(round int, inbox []sim.Message) sim.Outbox
 		}
 		m := p.Msg
 		m.From = msg.From // trust the authenticated channel, not the claim
-		perInstance[m.Instance] = append(perInstance[m.Instance], m)
+		node.byInst[m.Instance] = append(node.byInst[m.Instance], m)
 	}
 
 	valueBits := bitsFor(node.cfg.N)
 	nodeBits := bitsFor(node.n)
-	var out sim.Outbox
+	out := node.out[:0]
 	allDone := true
 	for sender, ds := range node.instances {
 		if ds.Done() {
 			continue
 		}
-		for _, m := range ds.Step(perInstance[sender]) {
-			out = append(out, sim.Message{From: node.idx, To: m.To, Payload: DSPayload{
-				Msg: m, ValueBits: valueBits, NodeBits: nodeBits,
+		for _, r := range ds.Step(node.byInst[sender]) {
+			// One shared broadcast per relay: every participant gets the
+			// identical chain, fanned out at delivery by the engine.
+			out = append(out, sim.Message{From: node.idx, To: sim.ToAll, Payload: DSPayload{
+				Msg: consensus.DSMsg{
+					Instance: sender, From: node.idx, To: sim.ToAll,
+					Value: r.Value, Chain: r.Chain,
+				},
+				ValueBits: valueBits, NodeBits: nodeBits,
 			}})
 		}
 		if !ds.Done() {
@@ -129,6 +147,7 @@ func (node *ConsensusRenameNode) Step(round int, inbox []sim.Message) sim.Outbox
 		node.decide()
 		node.halted = true
 	}
+	node.out = out
 	return out
 }
 

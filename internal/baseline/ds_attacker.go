@@ -40,16 +40,18 @@ func (a *DSEquivocator) Step(round int, inbox []sim.Message) sim.Outbox {
 	if v2 == v1 {
 		v2++
 	}
+	// Two signed chains total — hoisted out of the fan-out loop; the
+	// recipients in each half share one chain (receivers never mutate it).
+	chain1 := []consensus.Endorsement{{Node: a.idx, Sig: a.signer.Sign(auth.Digest(uint64(a.idx), v1))}}
+	chain2 := []consensus.Endorsement{{Node: a.idx, Sig: a.signer.Sign(auth.Digest(uint64(a.idx), v2))}}
 	out := make(sim.Outbox, 0, a.n)
 	for to := 0; to < a.n; to++ {
-		value := v1
+		value, chain := v1, chain1
 		if to >= a.n/2 {
-			value = v2
+			value, chain = v2, chain2
 		}
-		digest := auth.Digest(uint64(a.idx), value)
 		msg := consensus.DSMsg{
-			Instance: a.idx, From: a.idx, To: to, Value: value,
-			Chain: []consensus.Endorsement{{Node: a.idx, Sig: a.signer.Sign(digest)}},
+			Instance: a.idx, From: a.idx, To: to, Value: value, Chain: chain,
 		}
 		out = append(out, sim.Message{From: a.idx, To: to, Payload: DSPayload{
 			Msg: msg, ValueBits: valueBits, NodeBits: nodeBits,

@@ -108,9 +108,14 @@ func TestDSMessageComplexity(t *testing.T) {
 			if ds.Done() {
 				continue
 			}
-			for _, out := range ds.Step(pending[self]) {
-				count++
-				next[out.To] = append(next[out.To], out)
+			for _, r := range ds.Step(pending[self]) {
+				for _, to := range ds.participants {
+					count++
+					next[to] = append(next[to], DSMsg{
+						Instance: 0, From: self, To: to,
+						Value: r.Value, Chain: r.Chain,
+					})
+				}
 			}
 		}
 		pending = next

@@ -1,8 +1,6 @@
 package consensus
 
 import (
-	"sort"
-
 	"renaming/internal/auth"
 )
 
@@ -45,6 +43,16 @@ func (m DSMsg) Bits(valueBits, nodeBits int) int {
 	return valueBits + len(m.Chain)*(nodeBits+auth.SignatureBits)
 }
 
+// DSRelay is one accepted value with its extended signature chain, ready
+// to relay. Step returns relays instead of per-recipient messages: every
+// participant receives the identical payload, so the caller fans a relay
+// out as one shared broadcast (sim.ToAll) rather than materialising
+// len(participants) copies.
+type DSRelay struct {
+	Value uint64
+	Chain []Endorsement
+}
+
 // DSBroadcast is one member's state in one broadcast instance.
 type DSBroadcast struct {
 	instance     int
@@ -52,7 +60,7 @@ type DSBroadcast struct {
 	participants []int
 	sender       int
 	t            int
-	authority    *auth.Authority
+	verifier     auth.Verifier
 	signer       auth.Signer
 
 	input    uint64 // meaningful for the sender only
@@ -60,23 +68,30 @@ type DSBroadcast struct {
 
 	round    int
 	accepted map[uint64]bool
-	relayQ   []DSMsg
 	done     bool
+
+	// chainAcc is the digest accumulator of the last chain VerifyChain
+	// accepted, i.e. the digest this member's own endorsement signs.
+	chainAcc uint64
+	// seenEpoch/epoch implement per-call signer dedup without a map:
+	// seenEpoch[node] == epoch means node already signed in this chain.
+	seenEpoch []int
+	epoch     int
 }
 
 // NewDSBroadcast creates the instance for the member at link self.
 // sender is the broadcasting link; input is used when self == sender.
+// verifier is typically the auth.Authority itself, or an auth.Memo when
+// many members verify the same relayed chains.
 func NewDSBroadcast(instance, self int, participants []int, sender, t int,
-	authority *auth.Authority, signer auth.Signer, input uint64) *DSBroadcast {
-	sorted := append([]int(nil), participants...)
-	sort.Ints(sorted)
+	verifier auth.Verifier, signer auth.Signer, input uint64) *DSBroadcast {
 	return &DSBroadcast{
 		instance:     instance,
 		self:         self,
-		participants: sorted,
+		participants: sortedMembers(participants),
 		sender:       sender,
 		t:            t,
-		authority:    authority,
+		verifier:     verifier,
 		signer:       signer,
 		input:        input,
 		isSender:     self == sender,
@@ -104,8 +119,9 @@ func (ds *DSBroadcast) Output() (uint64, bool) {
 }
 
 // Step consumes this round's instance messages and returns the relays to
-// send. Round 0 is the sender's initial broadcast.
-func (ds *DSBroadcast) Step(in []DSMsg) []DSMsg {
+// send (each relay goes to every participant). Round 0 is the sender's
+// initial broadcast.
+func (ds *DSBroadcast) Step(in []DSMsg) []DSRelay {
 	if ds.done {
 		return nil
 	}
@@ -116,18 +132,19 @@ func (ds *DSBroadcast) Step(in []DSMsg) []DSMsg {
 			return nil
 		}
 		ds.accepted[ds.input] = true
-		digest := ds.digest(ds.input, nil)
-		chain := []Endorsement{{Node: ds.self, Sig: ds.signer.Sign(digest)}}
-		return ds.fanOut(ds.input, chain)
+		ds.chainAcc = auth.DigestFold(auth.DigestFold(auth.DigestInit,
+			uint64(ds.instance)), ds.input)
+		chain := []Endorsement{{Node: ds.self, Sig: ds.signer.Sign(ds.chainAcc)}}
+		return []DSRelay{{Value: ds.input, Chain: chain}}
 	}
 
 	// Rounds 1..t+1 accept chains of exactly ds.round signatures.
-	var out []DSMsg
+	var out []DSRelay
 	for _, msg := range in {
 		if msg.Instance != ds.instance || ds.accepted[msg.Value] {
 			continue
 		}
-		if !ds.validChain(msg.Value, msg.Chain, ds.round) {
+		if len(msg.Chain) != ds.round || !ds.VerifyChain(msg.Value, msg.Chain) {
 			continue
 		}
 		ds.accepted[msg.Value] = true
@@ -135,10 +152,9 @@ func (ds *DSBroadcast) Step(in []DSMsg) []DSMsg {
 			continue // two accepted values already prove sender faulty
 		}
 		if ds.round <= ds.t {
-			digest := ds.digest(msg.Value, msg.Chain)
 			chain := append(append([]Endorsement(nil), msg.Chain...),
-				Endorsement{Node: ds.self, Sig: ds.signer.Sign(digest)})
-			out = append(out, ds.fanOut(msg.Value, chain)...)
+				Endorsement{Node: ds.self, Sig: ds.signer.Sign(ds.chainAcc)})
+			out = append(out, DSRelay{Value: msg.Value, Chain: chain})
 		}
 	}
 	if ds.round == ds.t+1 {
@@ -147,44 +163,41 @@ func (ds *DSBroadcast) Step(in []DSMsg) []DSMsg {
 	return out
 }
 
-// validChain checks a chain of the expected length: distinct signers, the
-// sender first, every signature valid over the incremental digest.
-func (ds *DSBroadcast) validChain(value uint64, chain []Endorsement, wantLen int) bool {
-	if len(chain) != wantLen || len(chain) == 0 || chain[0].Node != ds.sender {
+// VerifyChain checks a signature chain in one incremental pass: the
+// sender first, all signers distinct, every signature valid over the
+// running prefix digest (which binds instance, value, and position, so a
+// signature cannot be replayed into another instance or slot). It costs
+// O(len(chain)) digest folds instead of the O(len(chain)²) of re-hashing
+// every prefix from scratch. On success the final accumulator is cached
+// so Step signs its own endorsement without re-folding the chain.
+func (ds *DSBroadcast) VerifyChain(value uint64, chain []Endorsement) bool {
+	if len(chain) == 0 || chain[0].Node != ds.sender {
 		return false
 	}
-	seen := make(map[int]bool, len(chain))
-	for i, e := range chain {
-		if seen[e.Node] {
+	ds.epoch++
+	acc := auth.DigestFold(auth.DigestFold(auth.DigestInit,
+		uint64(ds.instance)), value)
+	for _, e := range chain {
+		if e.Node < 0 {
 			return false
 		}
-		seen[e.Node] = true
-		digest := ds.digest(value, chain[:i])
-		if !ds.authority.Verify(e.Node, digest, e.Sig) {
+		// Verify before the distinctness bookkeeping: a forged
+		// endorsement with an out-of-range Node index fails here without
+		// ever growing the scratch, which keeps seenEpoch bounded by the
+		// verifier's node range rather than attacker-chosen indices.
+		if !ds.verifier.Verify(e.Node, acc, e.Sig) {
 			return false
 		}
+		if e.Node >= len(ds.seenEpoch) {
+			ds.seenEpoch = append(ds.seenEpoch,
+				make([]int, e.Node+1-len(ds.seenEpoch))...)
+		}
+		if ds.seenEpoch[e.Node] == ds.epoch {
+			return false
+		}
+		ds.seenEpoch[e.Node] = ds.epoch
+		acc = auth.DigestFold(auth.DigestFold(acc, uint64(e.Node)), uint64(e.Sig))
 	}
+	ds.chainAcc = acc
 	return true
-}
-
-// digest binds the instance, the value, and the chain prefix, so a
-// signature cannot be replayed into another instance or position.
-func (ds *DSBroadcast) digest(value uint64, prefix []Endorsement) uint64 {
-	parts := make([]uint64, 0, 2+2*len(prefix))
-	parts = append(parts, uint64(ds.instance), value)
-	for _, e := range prefix {
-		parts = append(parts, uint64(e.Node), uint64(e.Sig))
-	}
-	return auth.Digest(parts...)
-}
-
-func (ds *DSBroadcast) fanOut(value uint64, chain []Endorsement) []DSMsg {
-	out := make([]DSMsg, 0, len(ds.participants))
-	for _, to := range ds.participants {
-		out = append(out, DSMsg{
-			Instance: ds.instance, From: ds.self, To: to,
-			Value: value, Chain: chain,
-		})
-	}
-	return out
 }

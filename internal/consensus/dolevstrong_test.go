@@ -30,8 +30,15 @@ func (d *dsDriver) run(maxRounds int) bool {
 				continue
 			}
 			allDone = false
-			for _, out := range m.Step(d.pending[self]) {
-				next[out.To] = append(next[out.To], out)
+			for _, r := range m.Step(d.pending[self]) {
+				// Fan each relay out to every participant, as the
+				// harness's shared broadcast does.
+				for _, to := range m.participants {
+					next[to] = append(next[to], DSMsg{
+						Instance: m.instance, From: self, To: to,
+						Value: r.Value, Chain: r.Chain,
+					})
+				}
 			}
 		}
 		if allDone {

@@ -1,7 +1,5 @@
 package consensus
 
-import "sort"
-
 // Exchange is the trivial one-shot broadcast-and-collect machine used for
 // the diff report of Section 3.1: every member broadcasts one value to
 // the committee and collects everybody else's. It takes two synchronous
@@ -21,9 +19,7 @@ var _ Machine = (*Exchange)(nil)
 // NewExchange creates an exchange instance for the member at link index
 // self broadcasting val to the given committee view.
 func NewExchange(self int, members []int, val Value) *Exchange {
-	sorted := append([]int(nil), members...)
-	sort.Ints(sorted)
-	return &Exchange{self: self, members: sorted, val: val}
+	return &Exchange{self: self, members: sortedMembers(members), val: val}
 }
 
 // ExchangeRounds is the number of synchronous rounds an Exchange needs.
@@ -55,7 +51,7 @@ func (ex *Exchange) Step(in []Msg) []Msg {
 		}
 		return out
 	}
-	ex.votes = collect(in, ex.members)
+	ex.votes = collectInto(nil, in, ex.members)
 	ex.done = true
 	return nil
 }

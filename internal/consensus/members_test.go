@@ -1,0 +1,45 @@
+package consensus
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSortedMembersAlreadySortedIsZeroCopy(t *testing.T) {
+	members := []int{1, 4, 9, 12}
+	got := sortedMembers(members)
+	if &got[0] != &members[0] {
+		t.Fatal("sorted input should be returned without copying")
+	}
+}
+
+func TestSortedMembersSortsCopy(t *testing.T) {
+	members := []int{9, 1, 12, 4}
+	got := sortedMembers(members)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("not sorted: %v", got)
+	}
+	if members[0] != 9 {
+		t.Fatal("input mutated")
+	}
+	if len(got) == len(members) && &got[0] == &members[0] {
+		t.Fatal("unsorted input must be copied")
+	}
+}
+
+func TestMemberOf(t *testing.T) {
+	members := []int{2, 5, 7}
+	for _, link := range members {
+		if !memberOf(members, link) {
+			t.Fatalf("memberOf(%d) = false", link)
+		}
+	}
+	for _, link := range []int{-1, 0, 3, 6, 8, 100} {
+		if memberOf(members, link) {
+			t.Fatalf("memberOf(%d) = true", link)
+		}
+	}
+	if memberOf(nil, 0) {
+		t.Fatal("memberOf on empty slice")
+	}
+}

@@ -1,7 +1,5 @@
 package consensus
 
-import "sort"
-
 // PhaseKing is the binary consensus of Lemma 3.4, implemented as the
 // classical phase-king protocol over the committee. Each phase takes two
 // rounds:
@@ -23,8 +21,9 @@ type PhaseKing struct {
 	cur     Value
 
 	phase int
-	sub   int // 0 = about to send votes, 1 = vote inbox + king send, 2 = king inbox
-	votes map[int]Value
+	sub   int     // 0 = about to send votes, 1 = vote inbox + king send, 2 = king inbox
+	votes voteSet // collection scratch, cleared and reused per phase
+	out   []Msg   // broadcast scratch, valid until the next Step
 	done  bool
 }
 
@@ -35,19 +34,33 @@ var _ Machine = (*PhaseKing)(nil)
 // view as link indices; the king schedule is the sorted member list, so
 // all correct members agree on it.
 func NewPhaseKing(self int, members []int, input bool) *PhaseKing {
-	sorted := append([]int(nil), members...)
-	sort.Ints(sorted)
+	sorted := sortedMembers(members)
 	phases := len(sorted)/2 + 1
 	kings := make([]int, 0, phases)
 	for i := 0; i < phases; i++ {
 		kings = append(kings, sorted[i%len(sorted)])
 	}
-	return &PhaseKing{
+	pk := &PhaseKing{
 		self:    self,
 		members: sorted,
 		kings:   kings,
 		cur:     Bit(input),
 	}
+	pk.votes.init(sorted)
+	return pk
+}
+
+// Reset rewinds the machine to round zero with a new input, reusing the
+// member view, king schedule, and all collection scratch. Equivalent to
+// NewPhaseKing(self, members, input) for the same committee: stale votes
+// carry an old epoch stamp, so they are invisible to the fresh tally.
+// Drivers running several consensus instances in sequence over one
+// committee use it to avoid re-allocating the machine each time.
+func (pk *PhaseKing) Reset(input bool) {
+	pk.cur = Bit(input)
+	pk.phase = 0
+	pk.sub = 0
+	pk.done = false
 }
 
 // Rounds returns the total number of synchronous rounds the protocol
@@ -81,7 +94,7 @@ func (pk *PhaseKing) Step(in []Msg) []Msg {
 		return pk.broadcast(pk.cur)
 	case 1:
 		// Round-A inbox arrives; tally and, if king, send the tiebreak.
-		pk.votes = collect(in, pk.members)
+		pk.votes.collect(in)
 		pk.sub = 2
 		if pk.kings[pk.phase] == pk.self {
 			maj, _, _ := pk.majority()
@@ -110,14 +123,7 @@ func (pk *PhaseKing) Step(in []Msg) []Msg {
 }
 
 func (pk *PhaseKing) majority() (Value, int, int) {
-	c0, c1 := 0, 0
-	for _, v := range pk.votes {
-		if v.AsBit() {
-			c1++
-		} else {
-			c0++
-		}
-	}
+	c0, c1 := pk.votes.countBits()
 	if c1 > c0 {
 		return Bit(true), c1, c0 + c1
 	}
@@ -136,23 +142,27 @@ func (pk *PhaseKing) kingValue(in []Msg) Value {
 }
 
 func (pk *PhaseKing) broadcast(v Value) []Msg {
-	out := make([]Msg, 0, len(pk.members))
+	out := pk.out[:0]
 	for _, to := range pk.members {
 		out = append(out, Msg{From: pk.self, To: to, Val: v})
 	}
+	pk.out = out
 	return out
 }
 
-// collect keeps at most one vote per committee member, ignoring messages
-// from outside the view (a Byzantine non-member cannot vote).
-func collect(in []Msg, members []int) map[int]Value {
-	isMember := make(map[int]bool, len(members))
-	for _, m := range members {
-		isMember[m] = true
+// collectInto keeps at most one vote per committee member, ignoring
+// messages from outside the view (a Byzantine non-member cannot vote).
+// votes is cleared and reused (allocated when nil), so a long-lived
+// machine tallies every phase into one scratch map instead of a fresh
+// allocation; membership is a binary search on the sorted member list.
+func collectInto(votes map[int]Value, in []Msg, members []int) map[int]Value {
+	if votes == nil {
+		votes = make(map[int]Value, len(members))
+	} else {
+		clear(votes)
 	}
-	votes := make(map[int]Value, len(members))
 	for _, m := range in {
-		if !isMember[m.From] {
+		if !memberOf(members, m.From) {
 			continue
 		}
 		if _, dup := votes[m.From]; dup {

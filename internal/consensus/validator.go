@@ -1,7 +1,5 @@
 package consensus
 
-import "sort"
-
 // Validator is the weak validator of Lemma 3.3, implemented as two-round
 // graded consensus on O(log N)-bit values:
 //
@@ -30,6 +28,8 @@ type Validator struct {
 	in      Value
 
 	round    int
+	votes    voteSet // collection scratch, cleared and reused
+	out      []Msg   // broadcast scratch, valid until the next Step
 	done     bool
 	outSame  bool
 	outValue Value
@@ -41,9 +41,20 @@ var _ Machine = (*Validator)(nil)
 // self with the given input. members is the shared committee view as
 // link indices.
 func NewValidator(self int, members []int, input Value) *Validator {
-	sorted := append([]int(nil), members...)
-	sort.Ints(sorted)
-	return &Validator{self: self, members: sorted, in: input}
+	va := &Validator{self: self, members: sortedMembers(members), in: input}
+	va.votes.init(va.members)
+	return va
+}
+
+// Reset rewinds the machine to round zero with a new input, reusing the
+// member view and collection scratch — equivalent to NewValidator over
+// the same committee (see PhaseKing.Reset).
+func (va *Validator) Reset(input Value) {
+	va.in = input
+	va.round = 0
+	va.done = false
+	va.outSame = false
+	va.outValue = Value{}
 }
 
 // ValidatorRounds is the number of synchronous rounds a Validator needs.
@@ -73,8 +84,8 @@ func (va *Validator) Step(in []Msg) []Msg {
 		return va.broadcast(va.in)
 	case 1:
 		// Round-1 votes arrive; echo a strong-quorum value if one exists.
-		votes := collect(in, va.members)
-		best, cnt, _ := countVotes(votes)
+		va.votes.collect(in)
+		best, cnt, _ := va.votes.countVotes()
 		va.round = 2
 		if cnt >= m-t {
 			return va.broadcast(best)
@@ -82,8 +93,8 @@ func (va *Validator) Step(in []Msg) []Msg {
 		return nil
 	default:
 		// Echoes arrive; grade.
-		echoes := collect(in, va.members)
-		best, cnt, _ := countVotes(echoes)
+		va.votes.collect(in)
+		best, cnt, _ := va.votes.countVotes()
 		switch {
 		case cnt >= m-t:
 			va.outSame, va.outValue = true, best
@@ -98,9 +109,10 @@ func (va *Validator) Step(in []Msg) []Msg {
 }
 
 func (va *Validator) broadcast(v Value) []Msg {
-	out := make([]Msg, 0, len(va.members))
+	out := va.out[:0]
 	for _, to := range va.members {
 		out = append(out, Msg{From: va.self, To: to, Val: v})
 	}
+	va.out = out
 	return out
 }

@@ -60,7 +60,9 @@ type Msg struct {
 // Machine is a step-driven subprotocol. The driver calls Step once per
 // synchronous round, passing the protocol messages delivered this round;
 // the first call receives no input. Step returns the messages to send
-// this round. After Done reports true, Step must not be called again.
+// this round; the returned slice is only valid until the next Step call
+// (machines reuse their broadcast scratch), so drivers must copy what
+// they retain. After Done reports true, Step must not be called again.
 type Machine interface {
 	Step(in []Msg) (out []Msg)
 	Done() bool

@@ -7,6 +7,7 @@ import (
 	"renaming/internal/consensus"
 	"renaming/internal/hashing"
 	"renaming/internal/interval"
+	"renaming/internal/sharedrand"
 	"renaming/internal/sim"
 )
 
@@ -49,13 +50,14 @@ type ByzNode struct {
 	n   int
 	cfg ByzConfig
 
-	poolSet map[int]bool
+	poolSet []bool // shared pool-membership bitset, indexed by identity
 	elected bool
 
 	// Committee view, identical across correct nodes (G ⊆ ∩Cv with the
 	// all-or-nothing announcement simplification documented in DESIGN.md).
 	committee   []member
 	memberLinks []int
+	memberSet   []bool // memberSet[link] mirrors memberLinks, sized n
 
 	// Committee-member state.
 	list      *bitvec.Vector
@@ -75,32 +77,59 @@ type ByzNode struct {
 	// processed), the quantity Lemma 3.10 bounds by 4·f·log N.
 	iterations int
 
-	// Decision state (all correct nodes).
-	phase    byzPhase
-	newVotes map[int]NewPayload
-	newID    int
-	decided  bool
-	halted   bool
+	// Decision state (all correct nodes). votesDirty gates tryDecide to
+	// rounds where newVotes actually changed — its verdict is a pure
+	// function of newVotes, so re-evaluating an unchanged set is waste.
+	phase      byzPhase
+	newVotes   map[int]NewPayload
+	votesDirty bool
+	newID      int
+	decided    bool
+	halted     bool
+
+	// Per-round scratch, reused across Step calls: the subprotocol inbox
+	// and the outbox every helper appends into (valid until next Step).
+	subIn  []consensus.Msg
+	outBuf sim.Outbox
+
+	// Pooled subprotocol machines: committee membership is fixed after
+	// election and the loop runs its machines strictly in sequence, so
+	// one PhaseKing and one Validator (reset per use) serve every
+	// instance without re-allocating their member views and tallies.
+	pkScratch *consensus.PhaseKing
+	vaScratch *consensus.Validator
+	beacon    *sharedrand.Beacon // cached: the beacon is a stateless seed
+
+	// boxed caches the last interface-boxed subprotocol payload across
+	// rounds: a member's vote usually repeats between phases, and the
+	// boxed value is immutable, so re-sending the same box skips the
+	// per-broadcast heap allocation.
+	boxed    sim.Payload
+	boxedKey SubPayload
 }
 
 var _ sim.Node = (*ByzNode)(nil)
 
-// NewByzNode constructs the correct node at link index idx.
+// NewByzNode constructs the correct node at link index idx. Passing a
+// cfg that went through Precompute shares the candidate-pool bitset
+// across all nodes; otherwise it is derived here.
 func NewByzNode(cfg ByzConfig, idx int) *ByzNode {
-	pool := cfg.Pool()
-	poolSet := make(map[int]bool, len(pool))
-	for _, id := range pool {
-		poolSet[id] = true
-	}
+	cfg = cfg.Precompute()
 	return &ByzNode{
 		idx:      idx,
 		id:       cfg.IDs[idx],
 		n:        len(cfg.IDs),
 		cfg:      cfg,
-		poolSet:  poolSet,
+		poolSet:  cfg.pre.poolSet,
 		phase:    phElect,
 		newVotes: make(map[int]NewPayload),
 	}
+}
+
+// inPool reports whether the identity is in the candidate pool. Bounds-
+// checked because Byzantine ELECT payloads carry arbitrary identities.
+func (node *ByzNode) inPool(id int) bool {
+	return id >= 1 && id < len(node.poolSet) && node.poolSet[id]
 }
 
 // Output returns the node's new identity once decided.
@@ -113,6 +142,16 @@ func (node *ByzNode) Output() (int, bool) {
 
 // Halted implements sim.Node.
 func (node *ByzNode) Halted() bool { return node.halted }
+
+// Quiescent implements sim.Quiescent: a halted node, or a waiting node
+// with no undigested NEW votes, does nothing on an empty inbox — the
+// phWait branch of Step only reads the inbox and the votesDirty flag,
+// never the round number or any randomness — so the engine may elide
+// the call. Committee members (phLoop) drive subprotocol counters every
+// round and are never quiescent.
+func (node *ByzNode) Quiescent() bool {
+	return node.halted || (node.phase == phWait && !node.votesDirty)
+}
 
 // Elected reports whether the node is a committee member.
 func (node *ByzNode) Elected() bool { return node.elected }
@@ -168,7 +207,9 @@ func (node *ByzNode) Step(round int, inbox []sim.Message) sim.Outbox {
 		return node.stepLoop(inbox)
 	default:
 		node.absorbNew(inbox)
-		node.tryDecide()
+		if node.votesDirty {
+			node.tryDecide()
+		}
 		return nil
 	}
 }
@@ -176,7 +217,7 @@ func (node *ByzNode) Step(round int, inbox []sim.Message) sim.Outbox {
 // stepElect is round 0: pool members announce ELECT to everyone.
 func (node *ByzNode) stepElect() sim.Outbox {
 	node.phase = phAggregate
-	if !node.poolSet[node.id] {
+	if !node.inPool(node.id) {
 		return nil
 	}
 	node.elected = true
@@ -193,7 +234,7 @@ func (node *ByzNode) stepAggregate(inbox []sim.Message) sim.Outbox {
 		}
 		// Accept only pool members whose authentication binding checks
 		// out; a Byzantine node cannot claim a foreign identity.
-		if !node.poolSet[e.ID] || !node.cfg.VerifyIdentity(msg.From, e.ID) {
+		if !node.inPool(e.ID) || !node.cfg.VerifyIdentity(msg.From, e.ID) {
 			continue
 		}
 		node.committee = append(node.committee, member{id: e.ID, link: msg.From})
@@ -205,6 +246,10 @@ func (node *ByzNode) stepAggregate(inbox []sim.Message) sim.Outbox {
 		node.memberLinks = append(node.memberLinks, m.link)
 	}
 	sort.Ints(node.memberLinks)
+	node.memberSet = make([]bool, node.n)
+	for _, link := range node.memberLinks {
+		node.memberSet[link] = true
+	}
 
 	if node.elected {
 		node.phase = phLoop
@@ -220,8 +265,11 @@ func (node *ByzNode) stepAggregate(inbox []sim.Message) sim.Outbox {
 }
 
 // stepLoop drives the committee member through aggregation (its first
-// loop round) and the divide-and-conquer subprotocols.
+// loop round) and the divide-and-conquer subprotocols. All helpers below
+// append into node.outBuf, which is reset here and valid until the next
+// Step call.
 func (node *ByzNode) stepLoop(inbox []sim.Message) sim.Outbox {
+	node.outBuf = node.outBuf[:0]
 	if node.machine == nil && !node.loopDone {
 		// First loop round (round 2): absorb the identity announcements
 		// into the list, then start on the full segment.
@@ -236,15 +284,15 @@ func (node *ByzNode) stepLoop(inbox []sim.Message) sim.Outbox {
 			node.list.Set(a.ID)
 			node.knownLink[a.ID] = msg.From
 		}
-		out := node.startSegment()
+		node.startSegment()
 		node.pc++
-		return out
+		return node.outBuf
 	}
 
 	// Subprotocol round: feed the machine the messages tagged with the
 	// previous counter value.
 	expected := node.pc - 1
-	var subIn []consensus.Msg
+	subIn := node.subIn[:0]
 	for _, msg := range inbox {
 		s, ok := msg.Payload.(SubPayload)
 		if !ok || s.PC != expected {
@@ -252,27 +300,28 @@ func (node *ByzNode) stepLoop(inbox []sim.Message) sim.Outbox {
 		}
 		subIn = append(subIn, consensus.Msg{From: msg.From, To: node.idx, Val: s.Val})
 	}
-	var out sim.Outbox
+	node.subIn = subIn
 	if node.machine != nil {
-		out = node.wrapSub(node.machine.Step(subIn))
+		node.wrapSub(node.machine.Step(subIn))
 		if node.machine.Done() {
-			out = append(out, node.advance()...)
+			node.advance()
 		}
 	}
 	node.pc++
-	return out
+	return node.outBuf
 }
 
 // startSegment pops the next pending segment and starts its first
-// subprotocol, returning the wrapped first-round messages. When the stack
-// is empty the loop is over and distribution happens immediately.
-func (node *ByzNode) startSegment() sim.Outbox {
+// subprotocol, appending the wrapped first-round messages to outBuf.
+// When the stack is empty the loop is over and distribution happens
+// immediately.
+func (node *ByzNode) startSegment() {
 	if len(node.stack) == 0 {
 		node.loopDone = true
 		node.machine = nil
-		out := node.distribute()
+		node.distribute()
 		node.phase = phWait
-		return out
+		return
 	}
 	node.iterations++
 	node.cur = node.stack[len(node.stack)-1]
@@ -280,27 +329,54 @@ func (node *ByzNode) startSegment() sim.Outbox {
 
 	if node.cfg.SplitAlways && !node.cur.Unit() {
 		// A2 ablation: no fingerprinting, recurse immediately.
-		return node.split()
+		node.split()
+		return
 	}
 	if node.cur.Unit() {
 		bit := node.list.Get(node.cur.Lo)
 		node.stage = stageUnitConsensus
-		node.machine = consensus.NewPhaseKing(node.idx, node.memberLinks, bit)
+		node.machine = node.phaseKing(bit)
 	} else {
-		seed := node.cfg.Beacon().HashSeed(0, node.cur.Lo, node.cur.Hi)
+		if node.beacon == nil {
+			node.beacon = node.cfg.Beacon()
+		}
+		seed := node.beacon.HashSeed(0, node.cur.Lo, node.cur.Hi)
 		fp := hashing.NewHasher(seed).Sum(node.list.SegmentWords(node.cur.Lo, node.cur.Hi))
 		cnt := node.list.CountRange(node.cur.Lo, node.cur.Hi)
 		node.curVal = consensus.Value{Hi: uint64(fp), Lo: uint64(cnt)}
 		node.stage = stageValidator
-		node.machine = consensus.NewValidator(node.idx, node.memberLinks, node.curVal)
+		node.machine = node.validator(node.curVal)
 	}
-	return node.wrapSub(node.machine.Step(nil))
+	node.wrapSub(node.machine.Step(nil))
+}
+
+// phaseKing returns the node's pooled PhaseKing rewound to a fresh run
+// with the given input; the first call constructs it over the (fixed)
+// committee view.
+func (node *ByzNode) phaseKing(input bool) *consensus.PhaseKing {
+	if node.pkScratch == nil {
+		node.pkScratch = consensus.NewPhaseKing(node.idx, node.memberLinks, input)
+	} else {
+		node.pkScratch.Reset(input)
+	}
+	return node.pkScratch
+}
+
+// validator returns the node's pooled Validator, likewise rewound.
+func (node *ByzNode) validator(input consensus.Value) *consensus.Validator {
+	if node.vaScratch == nil {
+		node.vaScratch = consensus.NewValidator(node.idx, node.memberLinks, input)
+	} else {
+		node.vaScratch.Reset(input)
+	}
+	return node.vaScratch
 }
 
 // advance reacts to the current machine finishing: it applies the
 // machine's output to the protocol state and starts the next machine (or
-// segment), returning any first-round messages of the successor.
-func (node *ByzNode) advance() sim.Outbox {
+// segment), appending any first-round messages of the successor to
+// outBuf.
+func (node *ByzNode) advance() {
 	switch node.stage {
 	case stageUnitConsensus:
 		pk := node.machine.(*consensus.PhaseKing)
@@ -311,26 +387,27 @@ func (node *ByzNode) advance() sim.Outbox {
 			node.list.Clear(node.cur.Lo)
 		}
 		node.processed = append(node.processed, node.cur)
-		return node.startSegment()
+		node.startSegment()
 
 	case stageValidator:
 		va := node.machine.(*consensus.Validator)
 		same, out, _ := va.Output()
 		node.agreedVal = out
 		node.stage = stageSameConsensus
-		node.machine = consensus.NewPhaseKing(node.idx, node.memberLinks, same)
-		return node.wrapSub(node.machine.Step(nil))
+		node.machine = node.phaseKing(same)
+		node.wrapSub(node.machine.Step(nil))
 
 	case stageSameConsensus:
 		pk := node.machine.(*consensus.PhaseKing)
 		same, _ := pk.Output()
 		if !same {
-			return node.split()
+			node.split()
+			return
 		}
 		node.diffBit = node.curVal != node.agreedVal
 		node.stage = stageDiffExchange
 		node.machine = consensus.NewExchange(node.idx, node.memberLinks, consensus.Bit(node.diffBit))
-		return node.wrapSub(node.machine.Step(nil))
+		node.wrapSub(node.machine.Step(nil))
 
 	case stageDiffExchange:
 		ex := node.machine.(*consensus.Exchange)
@@ -345,14 +422,15 @@ func (node *ByzNode) advance() sim.Outbox {
 			diffPrime = true
 		}
 		node.stage = stageDiffConsensus
-		node.machine = consensus.NewPhaseKing(node.idx, node.memberLinks, diffPrime)
-		return node.wrapSub(node.machine.Step(nil))
+		node.machine = node.phaseKing(diffPrime)
+		node.wrapSub(node.machine.Step(nil))
 
 	default: // stageDiffConsensus
 		pk := node.machine.(*consensus.PhaseKing)
 		diff, _ := pk.Output()
 		if diff {
-			return node.split()
+			node.split()
+			return
 		}
 		// Success: the committee agreed on ⟨s', cnt'⟩ and a majority of
 		// correct members holds the matching segment.
@@ -365,15 +443,15 @@ func (node *ByzNode) advance() sim.Outbox {
 			node.list.ReplaceRange(node.cur.Lo, node.cur.Hi, cnt)
 		}
 		node.processed = append(node.processed, node.cur)
-		return node.startSegment()
+		node.startSegment()
 	}
 }
 
 // split divides the current segment in half and recurses (bottom half
 // first), the paper's divide-and-conquer step.
-func (node *ByzNode) split() sim.Outbox {
+func (node *ByzNode) split() {
 	node.stack = append(node.stack, node.cur.Top(), node.cur.Bot())
-	return node.startSegment()
+	node.startSegment()
 }
 
 // diffThreshold is the "many diff reports" cutoff: with fewer than one
@@ -384,34 +462,42 @@ func (node *ByzNode) diffThreshold() int {
 	return (len(node.memberLinks) + 2) / 3
 }
 
-// wrapSub converts consensus messages into simulator payloads tagged with
-// the current subprotocol counter.
-func (node *ByzNode) wrapSub(msgs []consensus.Msg) sim.Outbox {
+// wrapSub converts consensus messages into simulator payloads tagged
+// with the current subprotocol counter, appending them to outBuf (the
+// consensus machine's slice is scratch, so the copy happens here).
+// Messages carrying the payload last boxed — the norm, since the
+// machines broadcast one value to the whole committee and votes repeat
+// across phases — share that box: SubPayload is immutable once built,
+// so recipients can safely alias it across recipients and rounds, and
+// the per-broadcast interface allocation disappears.
+func (node *ByzNode) wrapSub(msgs []consensus.Msg) {
 	if len(msgs) == 0 {
-		return nil
+		return
 	}
 	valueBits := 61 + bitsFor(len(node.cfg.IDs))
 	pcBits := bitsFor(node.pc + 1)
-	out := make(sim.Outbox, 0, len(msgs))
 	for _, m := range msgs {
-		out = append(out, sim.Message{
-			From: node.idx,
-			To:   m.To,
-			Payload: SubPayload{
-				PC: node.pc, Val: m.Val,
-				ValueBits: valueBits, PCBits: pcBits,
-			},
+		p := SubPayload{
+			PC: node.pc, Val: m.Val,
+			ValueBits: valueBits, PCBits: pcBits,
+		}
+		if node.boxed == nil || p != node.boxedKey {
+			node.boxed = p
+			node.boxedKey = p
+		}
+		node.outBuf = append(node.outBuf, sim.Message{
+			From:    node.idx,
+			To:      m.To,
+			Payload: node.boxed,
 		})
 	}
-	return out
 }
 
-// distribute sends the NEW messages (Section 3.1, "Distribute new
-// identities"): for every identity the member heard directly, the rank in
-// the agreed list if the identity's segment is clean, an abstention
-// otherwise.
-func (node *ByzNode) distribute() sim.Outbox {
-	out := make(sim.Outbox, 0, len(node.knownLink))
+// distribute appends the NEW messages (Section 3.1, "Distribute new
+// identities") to outBuf: for every identity the member heard directly,
+// the rank in the agreed list if the identity's segment is clean, an
+// abstention otherwise.
+func (node *ByzNode) distribute() {
 	for id, link := range node.knownLink {
 		payload := NewPayload{SizeSmallN: node.n}
 		if node.list.Get(id) && !node.inDirty(id) {
@@ -419,9 +505,8 @@ func (node *ByzNode) distribute() sim.Outbox {
 		} else {
 			payload.Null = true
 		}
-		out = append(out, sim.Message{From: node.idx, To: link, Payload: payload})
+		node.outBuf = append(node.outBuf, sim.Message{From: node.idx, To: link, Payload: payload})
 	}
-	return out
 }
 
 func (node *ByzNode) inDirty(id int) bool {
@@ -448,12 +533,12 @@ func (node *ByzNode) absorbNew(inbox []sim.Message) {
 			continue
 		}
 		node.newVotes[msg.From] = p
+		node.votesDirty = true
 	}
 }
 
 func (node *ByzNode) isMemberLink(link int) bool {
-	i := sort.SearchInts(node.memberLinks, link)
-	return i < len(node.memberLinks) && node.memberLinks[i] == link
+	return link >= 0 && link < len(node.memberSet) && node.memberSet[link]
 }
 
 // tryDecide decides once a strong quorum of committee members responded:
@@ -463,6 +548,7 @@ func (node *ByzNode) isMemberLink(link int) bool {
 // clean correct members (> |C|/3 of them, Lemma 3.11) outnumber any value
 // Byzantine members fabricate.
 func (node *ByzNode) tryDecide() {
+	node.votesDirty = false
 	if node.decided {
 		node.halted = true
 		return

@@ -62,6 +62,37 @@ type ByzConfig struct {
 	// divide-and-conquer replaces. Expect Θ(N) iterations instead of
 	// O(f·log N).
 	SplitAlways bool
+
+	// pre carries state derived once per config (see Precompute). The
+	// zero value is valid: constructors compute it on demand.
+	pre *byzPrecomputed
+}
+
+// byzPrecomputed is derived state shared by every node built from one
+// config, so an n-node network pays the O(N) pool derivation once
+// instead of n times.
+type byzPrecomputed struct {
+	pool    []int
+	poolSet []bool // poolSet[id] reports id ∈ pool, sized N+1
+}
+
+// Precompute returns a copy of cfg carrying the shared candidate pool
+// and its membership bitset. Calling it is optional — constructors fall
+// back to deriving the state per node — but harnesses building many
+// nodes from one config should call it once up front.
+func (cfg ByzConfig) Precompute() ByzConfig {
+	if cfg.pre != nil {
+		return cfg
+	}
+	pool := cfg.Pool()
+	poolSet := make([]bool, cfg.N+1)
+	for _, id := range pool {
+		if id >= 1 && id <= cfg.N {
+			poolSet[id] = true
+		}
+	}
+	cfg.pre = &byzPrecomputed{pool: pool, poolSet: poolSet}
+	return cfg
 }
 
 func (cfg ByzConfig) eps() float64 {

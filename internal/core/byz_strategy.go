@@ -59,31 +59,43 @@ type ByzAttacker struct {
 	behavior ByzBehavior
 	rng      *rand.Rand
 
-	poolSet     map[int]bool
+	poolSet     []bool // shared pool-membership bitset, indexed by identity
 	memberLinks []int
 	inPool      bool
+	spamTargets []int      // all links, precomputed for BehaviorSpam
+	outBuf      sim.Outbox // attack-round scratch, valid until next Step
 }
 
 var _ sim.Node = (*ByzAttacker)(nil)
 
 // NewByzAttacker constructs a Byzantine node at link idx with the given
-// behaviour.
+// behaviour. Like NewByzNode, a Precomputed cfg shares the candidate-
+// pool bitset across nodes.
 func NewByzAttacker(cfg ByzConfig, idx int, behavior ByzBehavior) *ByzAttacker {
-	pool := cfg.Pool()
-	poolSet := make(map[int]bool, len(pool))
-	for _, id := range pool {
-		poolSet[id] = true
-	}
-	return &ByzAttacker{
+	cfg = cfg.Precompute()
+	a := &ByzAttacker{
 		idx:      idx,
 		id:       cfg.IDs[idx],
 		n:        len(cfg.IDs),
 		cfg:      cfg,
 		behavior: behavior,
 		rng:      sim.NewRand(cfg.Seed, 0x62797a<<20|uint64(idx)), // "byz" stream
-		poolSet:  poolSet,
+		poolSet:  cfg.pre.poolSet,
 		inPool:   false,
 	}
+	if behavior == BehaviorSpam {
+		a.spamTargets = make([]int, a.n)
+		for i := range a.spamTargets {
+			a.spamTargets[i] = i
+		}
+	}
+	return a
+}
+
+// pooled reports whether the identity is in the candidate pool, bounds-
+// checked because ELECT payloads from the wire carry arbitrary values.
+func (a *ByzAttacker) pooled(id int) bool {
+	return id >= 1 && id < len(a.poolSet) && a.poolSet[id]
 }
 
 // Output implements sim.Node; an attacker never decides.
@@ -94,6 +106,12 @@ func (a *ByzAttacker) Output() (int, bool) { return 0, false }
 // can keep attacking) until then.
 func (a *ByzAttacker) Halted() bool { return true }
 
+// Quiescent implements sim.Quiescent for the silent behaviour only: a
+// silent attacker returns nil at every round without touching state or
+// randomness. Every other behaviour acts (or consumes randomness) even
+// on an empty inbox, so it must be stepped.
+func (a *ByzAttacker) Quiescent() bool { return a.behavior == BehaviorSilent }
+
 // Step implements sim.Node.
 func (a *ByzAttacker) Step(round int, inbox []sim.Message) sim.Outbox {
 	if a.behavior == BehaviorSilent {
@@ -103,7 +121,7 @@ func (a *ByzAttacker) Step(round int, inbox []sim.Message) sim.Outbox {
 	case 0:
 		// Announce committee candidacy like an honest node would: the
 		// attacker wants to be inside the committee.
-		if a.poolSet[a.id] {
+		if a.pooled(a.id) {
 			a.inPool = true
 			return sim.Broadcast(a.idx, a.n, ElectPayload{ID: a.id, SizeN: a.cfg.N})
 		}
@@ -119,7 +137,7 @@ func (a *ByzAttacker) Step(round int, inbox []sim.Message) sim.Outbox {
 func (a *ByzAttacker) learnCommittee(inbox []sim.Message) {
 	for _, msg := range inbox {
 		e, ok := msg.Payload.(ElectPayload)
-		if !ok || !a.poolSet[e.ID] || !a.cfg.VerifyIdentity(msg.From, e.ID) {
+		if !ok || !a.pooled(e.ID) || !a.cfg.VerifyIdentity(msg.From, e.ID) {
 			continue
 		}
 		a.memberLinks = append(a.memberLinks, msg.From)
@@ -148,41 +166,38 @@ func (a *ByzAttacker) splitAnnounce() sim.Outbox {
 // attackRound emits the behaviour's per-round interference. Subprotocol
 // messages are tagged with the counter value honest members use in this
 // round (pc = round − 2), so they pass the receivers' freshness filter.
+// The helpers append into a.outBuf, reset here and valid until the next
+// Step call.
 func (a *ByzAttacker) attackRound(round int, inbox []sim.Message) sim.Outbox {
+	a.outBuf = a.outBuf[:0]
 	switch a.behavior {
 	case BehaviorRushingEquivocate:
 		if !a.inPool {
 			return nil
 		}
-		return a.rushSplit(round, inbox)
+		a.rushSplit(round, inbox)
 	case BehaviorEquivocate:
-		if !a.inPool {
-			return a.fakeNew(round)
+		if a.inPool {
+			a.equivocateSub(round, a.memberLinks)
 		}
-		out := a.equivocateSub(round, a.memberLinks)
-		out = append(out, a.fakeNew(round)...)
-		return out
+		a.fakeNew(round)
 	case BehaviorSpam:
-		targets := make([]int, a.n)
-		for i := range targets {
-			targets[i] = i
-		}
-		out := a.equivocateSub(round, targets)
-		for _, to := range targets {
-			out = append(out, sim.Message{From: a.idx, To: to, Payload: NewPayload{
+		a.equivocateSub(round, a.spamTargets)
+		for _, to := range a.spamTargets {
+			a.outBuf = append(a.outBuf, sim.Message{From: a.idx, To: to, Payload: NewPayload{
 				NewID: a.rng.Intn(a.n) + 1, SizeSmallN: a.n,
 			}})
 		}
-		return out
 	default:
 		return nil
 	}
+	return a.outBuf
 }
 
 // rushSplit reads the previewed current-round honest votes (tagged with
 // this round's counter) and sends the least common value to the first
 // half of the committee and the most common to the rest.
-func (a *ByzAttacker) rushSplit(round int, inbox []sim.Message) sim.Outbox {
+func (a *ByzAttacker) rushSplit(round int, inbox []sim.Message) {
 	pc := round - 2
 	counts := make(map[consensus.Value]int)
 	for _, msg := range inbox {
@@ -193,7 +208,7 @@ func (a *ByzAttacker) rushSplit(round int, inbox []sim.Message) sim.Outbox {
 		counts[s.Val]++
 	}
 	if len(counts) == 0 {
-		return nil
+		return
 	}
 	var most, least consensus.Value
 	mostC, leastC := -1, 1<<30
@@ -206,48 +221,44 @@ func (a *ByzAttacker) rushSplit(round int, inbox []sim.Message) sim.Outbox {
 		}
 	}
 	valueBits := 61 + bitsFor(a.n)
-	out := make(sim.Outbox, 0, len(a.memberLinks))
 	for idx, to := range a.memberLinks {
 		val := most
 		if idx < len(a.memberLinks)/2 {
 			val = least
 		}
-		out = append(out, sim.Message{From: a.idx, To: to, Payload: SubPayload{
+		a.outBuf = append(a.outBuf, sim.Message{From: a.idx, To: to, Payload: SubPayload{
 			PC: pc, Val: val, ValueBits: valueBits, PCBits: bitsFor(pc + 1),
 		}})
 	}
-	return out
 }
 
-// equivocateSub sends a different random subprotocol value to each target.
-func (a *ByzAttacker) equivocateSub(round int, targets []int) sim.Outbox {
+// equivocateSub sends a different random subprotocol value to each target
+// (payloads genuinely differ per recipient, so there is nothing to share;
+// only the outbox slice is pooled).
+func (a *ByzAttacker) equivocateSub(round int, targets []int) {
 	pc := round - 2
 	valueBits := 61 + bitsFor(a.n)
-	out := make(sim.Outbox, 0, len(targets))
 	for _, to := range targets {
 		val := consensus.Value{Hi: a.rng.Uint64() >> 3, Lo: uint64(a.rng.Intn(a.n + 1))}
 		if a.rng.Intn(2) == 0 {
 			val = consensus.Bit(a.rng.Intn(2) == 0) // plausible binary vote
 		}
-		out = append(out, sim.Message{From: a.idx, To: to, Payload: SubPayload{
+		a.outBuf = append(a.outBuf, sim.Message{From: a.idx, To: to, Payload: SubPayload{
 			PC: pc, Val: val, ValueBits: valueBits, PCBits: bitsFor(pc + 1),
 		}})
 	}
-	return out
 }
 
 // fakeNew occasionally sends fabricated NEW messages to random nodes,
 // probing the decision threshold.
-func (a *ByzAttacker) fakeNew(round int) sim.Outbox {
+func (a *ByzAttacker) fakeNew(round int) {
 	if round%3 != 0 {
-		return nil
+		return
 	}
-	out := make(sim.Outbox, 0, 4)
 	for k := 0; k < 4; k++ {
 		to := a.rng.Intn(a.n)
-		out = append(out, sim.Message{From: a.idx, To: to, Payload: NewPayload{
+		a.outBuf = append(a.outBuf, sim.Message{From: a.idx, To: to, Payload: NewPayload{
 			NewID: a.rng.Intn(a.n) + 1, SizeSmallN: a.n,
 		}})
 	}
-	return out
 }

@@ -1,0 +1,55 @@
+// Package profiling wires the standard pprof collectors into the
+// command-line harnesses. The sweep and campaign drivers are the
+// processes whose hot paths matter (the round engine, the Byzantine
+// committee loop), so their binaries expose -cpuprofile/-memprofile
+// directly instead of routing every investigation through go test
+// (docs/OBSERVABILITY.md describes the workflow).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile at
+// memPath; either path may be empty to disable that collector. The
+// returned stop function must run exactly once, at process exit on the
+// success path: it stops the CPU profile and captures the heap snapshot
+// (after a forced GC, so live objects — pooled scratch, inbox buffers —
+// dominate over garbage).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		return f.Close()
+	}, nil
+}

@@ -37,6 +37,7 @@ import (
 // sort delivery, at every worker count.
 type engine struct {
 	nodes   []Node
+	quiet   []Quiescent // nodes[i] as Quiescent, nil if not implemented
 	alive   []bool
 	adv     CrashAdversary
 	metrics *Metrics
@@ -63,6 +64,31 @@ type engine struct {
 	ack        chan struct{}
 	panics     []any
 
+	// Adaptive collapse: rounds with little traffic run on the
+	// coordinator alone (active = 1), skipping the four barrier
+	// handshakes whose wakeup latency dwarfs the actual work at small
+	// scales — the committee loop of the Byzantine algorithm moves a few
+	// hundred messages per round, ~microseconds of routing. Heavy rounds
+	// (all-to-all baselines, announce/distribute fan-outs, the 16384+
+	// sweeps) still fan out across the pool. Results are bit-identical at
+	// every worker count, so flipping per round is unobservable; an
+	// explicit WithEngineWorkers pin disables the collapse so tests can
+	// exercise a chosen path. lastMsgs (messages counted in the previous
+	// round) is the traffic predictor.
+	adaptive bool
+	active   int
+	lastMsgs int64
+
+	// stepped lists the senders that acted this round, ascending, and
+	// prevStepped the round before — coordinator-only rounds use them to
+	// reset and walk only those entries instead of scanning all n nodes
+	// in every phase. Ascending order matters: scatter assigns inbox
+	// slots in sender order.
+	stepped     []int
+	prevStepped []int
+	mergeBuf    []int
+	prevFull    bool // last round ran parallel: acted/outs need a full reset
+
 	// Per-round state, all reused across rounds.
 	inboxes [][]Message // delivered this round, per recipient
 	nextInb [][]Message // being filled for next round
@@ -79,6 +105,14 @@ type engine struct {
 	previews    map[int][]Message
 	rushInbox   []Message
 	delivered   []Message
+
+	// expandBufs pools the explicit outboxes that mid-send crash filtering
+	// expands ToAll broadcasts into (keep verdicts are indexed per wire
+	// message). Buffers are reclaimed at the next evalFilters call, after
+	// phaseStep has dropped all outbox references.
+	expandBufs [][]Message
+	expandUsed int
+	roundEnd   []func() // coordinator hooks run at the end of every round
 }
 
 // Phase identifiers dispatched to the worker pool.
@@ -107,9 +141,13 @@ func newEngine(nodes []Node) *engine {
 		filters:   make(map[int]SendFilter),
 		keepFor:   make(map[int][]bool),
 	}
+	e.quiet = make([]Quiescent, n)
 	for i := range e.alive {
 		e.alive[i] = true
 		e.crashedAt[i] = -1
+		if q, ok := nodes[i].(Quiescent); ok {
+			e.quiet[i] = q
+		}
 	}
 	e.metrics.sizeFor(n)
 	return e
@@ -158,7 +196,17 @@ func (e *engine) finishSetup() {
 	if len(e.rushList) > 0 {
 		e.previews = make(map[int][]Message, len(e.rushList))
 	}
+	e.adaptive = e.reqWorkers <= 0 && e.workers > 1
+	e.active = e.workers
 }
+
+// adaptiveSpill is the work estimate (node passes + routed messages,
+// weighted toward messages) above which a round is worth fanning across
+// the pool; below it the four barrier handshakes cost more than the
+// round itself. Calibrated on the Byzantine committee loop at n = 1024
+// (~175 msgs/round: sequential wins 2×) against the all-to-all baselines
+// (n² msgs/round: the pool wins).
+const adaptiveSpill = 8192
 
 func (e *engine) ensureWorkers() {
 	if e.started {
@@ -197,8 +245,9 @@ func (e *engine) runShard(w, ph int) {
 // itself. Worker panics (e.g. a node sending to an invalid link) are
 // re-raised here so they surface on the StepRound caller as before.
 func (e *engine) runPhase(ph int) {
-	if e.workers == 1 {
-		e.phase(0, ph)
+	if e.active == 1 {
+		// Coordinator-only round: worker 0 spans every node in one shard.
+		e.phaseSpan(0, ph, 0, len(e.nodes))
 		return
 	}
 	for w := 1; w < e.workers; w++ {
@@ -217,7 +266,10 @@ func (e *engine) runPhase(ph int) {
 }
 
 func (e *engine) phase(w, ph int) {
-	lo, hi := e.shardLo[w], e.shardHi[w]
+	e.phaseSpan(w, ph, e.shardLo[w], e.shardHi[w])
+}
+
+func (e *engine) phaseSpan(w, ph, lo, hi int) {
 	switch ph {
 	case phStep:
 		e.phaseStep(lo, hi)
@@ -284,7 +336,16 @@ func (e *engine) StepRound() {
 		}
 	}
 
-	e.ensureWorkers()
+	if e.adaptive {
+		if int64(n)+3*e.lastMsgs >= adaptiveSpill {
+			e.active = e.workers
+		} else {
+			e.active = 1
+		}
+	}
+	if e.active > 1 {
+		e.ensureWorkers()
+	}
 	e.runPhase(phStep)
 	if len(e.rushList) > 0 {
 		e.stepRushers()
@@ -304,6 +365,18 @@ func (e *engine) StepRound() {
 		}
 		e.observer(e.round, e.delivered)
 	}
+	for _, fn := range e.roundEnd {
+		fn()
+	}
+	if e.active == 1 {
+		// This round's acted senders are the entries the next
+		// coordinator-only round must reset.
+		e.stepped, e.prevStepped = e.prevStepped[:0], e.stepped
+	} else {
+		// A parallel round steps nodes without recording them; force the
+		// next coordinator-only round to do one full reset scan.
+		e.prevFull = true
+	}
 	e.inboxes, e.nextInb = e.nextInb, e.inboxes
 	e.round++
 	e.metrics.Rounds = e.round
@@ -314,10 +387,46 @@ func (e *engine) StepRound() {
 // independent; the engine does not retain the returned outbox past the
 // round, so nodes may reuse their outbox buffers.
 func (e *engine) phaseStep(lo, hi int) {
+	if e.active == 1 {
+		// Coordinator-only round: clear only last round's acted entries,
+		// then record this round's acted senders so the count and scatter
+		// phases can walk just those instead of scanning all n slots.
+		if e.prevFull {
+			for i := lo; i < hi; i++ {
+				e.outs[i] = nil
+				e.acted[i] = false
+			}
+			e.prevFull = false
+		} else {
+			for _, i := range e.prevStepped {
+				e.outs[i] = nil
+				e.acted[i] = false
+			}
+		}
+		e.stepped = e.stepped[:0]
+		for i := lo; i < hi; i++ {
+			if e.rushing[i] || !e.shouldStep(i) {
+				continue
+			}
+			if len(e.inboxes[i]) == 0 && e.quiet[i] != nil && e.quiet[i].Quiescent() {
+				continue
+			}
+			e.acted[i] = true
+			e.outs[i] = e.nodes[i].Step(e.round, e.inboxes[i])
+			e.stepped = append(e.stepped, i)
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		e.outs[i] = nil
 		e.acted[i] = false
 		if e.rushing[i] || !e.shouldStep(i) {
+			continue
+		}
+		if len(e.inboxes[i]) == 0 && e.quiet[i] != nil && e.quiet[i].Quiescent() {
+			// The node vouches that this call would be a pure no-op (see
+			// Quiescent); eliding it is observationally identical. acted
+			// stays false, which downstream phases treat as "empty outbox".
 			continue
 		}
 		e.acted[i] = true
@@ -342,6 +451,18 @@ func (e *engine) stepRushers() {
 		}
 		filter := e.filters[i]
 		for _, msg := range e.outs[i] {
+			if msg.To == ToAll {
+				// A shared broadcast reaches every rushing node; expanding
+				// ascending over rushList matches the explicit broadcast's
+				// to = 0..n-1 visit order (and its filter-call order).
+				for _, r := range e.rushList {
+					if filter != nil && !filter(r) {
+						continue
+					}
+					e.previews[r] = append(e.previews[r], Message{From: i, To: r, Payload: msg.Payload})
+				}
+				continue
+			}
 			if msg.To < 0 || msg.To >= n || !e.rushing[msg.To] {
 				continue
 			}
@@ -366,6 +487,26 @@ func (e *engine) stepRushers() {
 		e.acted[r] = true
 		e.outs[r] = e.nodes[r].Step(e.round, inbox)
 	}
+	if e.active == 1 {
+		// Merge the acted rushers into the stepped list, preserving the
+		// ascending sender order the scatter phase relies on. Rushing
+		// nodes are skipped by phaseStep, so there are no duplicates.
+		e.mergeBuf = e.mergeBuf[:0]
+		s := e.stepped
+		j := 0
+		for _, r := range e.rushList {
+			if !e.acted[r] {
+				continue
+			}
+			for j < len(s) && s[j] < r {
+				e.mergeBuf = append(e.mergeBuf, s[j])
+				j++
+			}
+			e.mergeBuf = append(e.mergeBuf, r)
+		}
+		e.mergeBuf = append(e.mergeBuf, s[j:]...)
+		e.stepped, e.mergeBuf = e.mergeBuf, e.stepped
+	}
 }
 
 // evalFilters records, for every mid-send crasher, which of its messages
@@ -384,12 +525,13 @@ func (e *engine) evalFilters() {
 		delete(e.keepFor, node)
 		e.keepPool = append(e.keepPool, keep[:0])
 	}
+	e.expandUsed = 0
 	for _, s := range e.filterOrder {
 		if !e.acted[s] {
 			continue
 		}
 		filter := e.filters[s]
-		out := e.outs[s]
+		out := e.expandToAll(s)
 		var keep []bool
 		if k := len(e.keepPool); k > 0 {
 			keep = e.keepPool[k-1]
@@ -406,6 +548,46 @@ func (e *engine) evalFilters() {
 	}
 }
 
+// expandToAll rewrites sender s's outbox with every ToAll broadcast
+// expanded into explicit per-recipient messages, so the mid-send keep
+// verdicts index one wire message each — exactly the sequence the
+// explicit representation produced. Runs on the coordinator only, for the
+// (rare) senders crashing mid-send; buffers come from a pool reclaimed
+// once the round's outboxes are dropped.
+func (e *engine) expandToAll(s int) Outbox {
+	out := e.outs[s]
+	shared := false
+	for k := range out {
+		if out[k].To == ToAll {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		return out
+	}
+	var buf []Message
+	if e.expandUsed < len(e.expandBufs) {
+		buf = e.expandBufs[e.expandUsed][:0]
+	} else {
+		e.expandBufs = append(e.expandBufs, nil)
+	}
+	n := len(e.nodes)
+	for _, msg := range out {
+		if msg.To == ToAll {
+			for to := 0; to < n; to++ {
+				buf = append(buf, Message{From: msg.From, To: to, Payload: msg.Payload})
+			}
+			continue
+		}
+		buf = append(buf, msg)
+	}
+	e.expandBufs[e.expandUsed] = buf
+	e.expandUsed++
+	e.outs[s] = buf
+	return buf
+}
+
 // phaseCount walks the shard's outboxes, counting surviving messages per
 // recipient and accumulating communication metrics into the shard's
 // accumulator. PerNodeSent cells belong to this shard's senders, so the
@@ -417,39 +599,64 @@ func (e *engine) phaseCount(w, lo, hi int) {
 	}
 	sh := &e.shards[w]
 	sh.reset()
-	n := len(e.nodes)
-	limit := e.metrics.CongestLimit
 	anyFilters := len(e.filters) > 0
+	if e.active == 1 {
+		// Coordinator-only round: walk just the senders that acted.
+		for _, i := range e.stepped {
+			e.countSender(sh, counts, i, anyFilters)
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		if !e.acted[i] {
 			continue
 		}
-		out := e.outs[i]
-		if len(out) == 0 {
+		e.countSender(sh, counts, i, anyFilters)
+	}
+}
+
+// countSender counts one acted sender's surviving messages into counts
+// and the shard accumulator — the phaseCount per-sender body, shared by
+// the sharded scan and the coordinator-only stepped walk.
+func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters bool) {
+	out := e.outs[i]
+	if len(out) == 0 {
+		return
+	}
+	n := len(e.nodes)
+	limit := e.metrics.CongestLimit
+	var keep []bool
+	if anyFilters {
+		keep = e.keepFor[i]
+	}
+	honest := !e.byzantine[i]
+	var sent int64
+	for k := range out {
+		if keep != nil && !keep[k] {
+			// Crashed mid-send: this message was never put on the
+			// wire, so it costs nothing and arrives nowhere.
 			continue
 		}
-		var keep []bool
-		if anyFilters {
-			keep = e.keepFor[i]
-		}
-		honest := !e.byzantine[i]
-		var sent int64
-		for k := range out {
-			if keep != nil && !keep[k] {
-				// Crashed mid-send: this message was never put on the
-				// wire, so it costs nothing and arrives nowhere.
-				continue
+		msg := &out[k]
+		if msg.To == ToAll {
+			// Shared broadcast: one entry, n wire messages. Kind/Bits
+			// are evaluated once (payloads are immutable in flight),
+			// and addN accounts exactly as n consecutive adds would.
+			for to := 0; to < n; to++ {
+				counts[to]++
 			}
-			msg := &out[k]
-			if msg.To < 0 || msg.To >= n {
-				panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
-			}
-			counts[msg.To]++
-			sent++
-			sh.add(msg.Payload.Kind(), msg.Payload.Bits(), honest, limit)
+			sent += int64(n)
+			sh.addN(msg.Payload.Kind(), msg.Payload.Bits(), int64(n), honest, limit)
+			continue
 		}
-		e.metrics.PerNodeSent[i] += sent
+		if msg.To < 0 || msg.To >= n {
+			panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
+		}
+		counts[msg.To]++
+		sent++
+		sh.add(msg.Payload.Kind(), msg.Payload.Bits(), honest, limit)
 	}
+	e.metrics.PerNodeSent[i] += sent
 }
 
 // phaseDeliver turns the per-worker counters for this shard's *recipients*
@@ -457,9 +664,35 @@ func (e *engine) phaseCount(w, lo, hi int) {
 // and resizes the reusable inbox buffers. Worker w's senders all precede
 // worker w+1's, so offset order is global sender order.
 func (e *engine) phaseDeliver(w, lo, hi int) {
+	if e.active == 1 {
+		// Coordinator-only round: every offset is zero (one worker), so
+		// recipients without traffic need no prefix pass — only a reset of
+		// a previously-filled inbox. On sparse rounds this touches two
+		// words per idle recipient instead of writing five.
+		counts := e.counts[0]
+		for to := lo; to < hi; to++ {
+			total := counts[to]
+			buf := e.nextInb[to]
+			if total == 0 {
+				if len(buf) != 0 {
+					e.nextInb[to] = buf[:0]
+				}
+				continue
+			}
+			counts[to] = 0
+			e.metrics.PerNodeReceived[to] += int64(total)
+			if cap(buf) < int(total) {
+				buf = make([]Message, total)
+			} else {
+				buf = buf[:total]
+			}
+			e.nextInb[to] = buf
+		}
+		return
+	}
 	for to := lo; to < hi; to++ {
 		var total int32
-		for x := 0; x < e.workers; x++ {
+		for x := 0; x < e.active; x++ {
 			c := e.counts[x][to]
 			e.counts[x][to] = total
 			total += c
@@ -481,25 +714,49 @@ func (e *engine) phaseDeliver(w, lo, hi int) {
 func (e *engine) phaseScatter(w, lo, hi int) {
 	counts := e.counts[w]
 	anyFilters := len(e.filters) > 0
+	if e.active == 1 {
+		// Coordinator-only round: walk just the senders that acted. The
+		// stepped list is ascending, so offsets are still assigned in
+		// global sender order.
+		for _, i := range e.stepped {
+			e.scatterSender(counts, i, anyFilters)
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		if !e.acted[i] {
 			continue
 		}
-		out := e.outs[i]
-		var keep []bool
-		if anyFilters {
-			keep = e.keepFor[i]
+		e.scatterSender(counts, i, anyFilters)
+	}
+}
+
+// scatterSender places one acted sender's surviving messages at their
+// precomputed inbox offsets — the phaseScatter per-sender body, shared by
+// the sharded scan and the coordinator-only stepped walk.
+func (e *engine) scatterSender(counts []int32, i int, anyFilters bool) {
+	out := e.outs[i]
+	var keep []bool
+	if anyFilters {
+		keep = e.keepFor[i]
+	}
+	for k := range out {
+		if keep != nil && !keep[k] {
+			continue
 		}
-		for k := range out {
-			if keep != nil && !keep[k] {
-				continue
+		msg := out[k]
+		if msg.To == ToAll {
+			for to := 0; to < len(counts); to++ {
+				pos := counts[to]
+				counts[to] = pos + 1
+				e.nextInb[to][pos] = Message{From: i, To: to, Payload: msg.Payload}
 			}
-			msg := out[k]
-			msg.From = i
-			pos := counts[msg.To]
-			counts[msg.To] = pos + 1
-			e.nextInb[msg.To][pos] = msg
+			continue
 		}
+		msg.From = i
+		pos := counts[msg.To]
+		counts[msg.To] = pos + 1
+		e.nextInb[msg.To][pos] = msg
 	}
 }
 
@@ -508,9 +765,13 @@ func (e *engine) phaseScatter(w, lo, hi int) {
 // the fold is identical at every worker count.
 func (e *engine) foldMetrics() {
 	m := e.metrics
-	for w := range e.shards {
+	var roundMsgs int64
+	// Only the shards that ran this round hold fresh accumulators; the
+	// rest were folded (and will be reset) the next time they run.
+	for w := 0; w < e.active; w++ {
 		sh := &e.shards[w]
 		sh.flushRun()
+		roundMsgs += sh.messages
 		m.Messages += sh.messages
 		m.Bits += sh.bits
 		m.HonestMessages += sh.honestMessages
@@ -526,4 +787,5 @@ func (e *engine) foldMetrics() {
 			m.PerKindBits[k] += v
 		}
 	}
+	e.lastMsgs = roundMsgs
 }

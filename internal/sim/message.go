@@ -13,13 +13,22 @@ type Payload interface {
 	Bits() int
 }
 
+// ToAll is the shared-broadcast sentinel recipient: a single outbox entry
+// with To == ToAll fans out to every link in the network inside the
+// engine's counting-sort delivery. The payload is stored once by the
+// sender; metrics still account one wire message per recipient, and every
+// delivered inbox carries explicit recipient links — nodes never see the
+// sentinel.
+const ToAll = -1
+
 // Message is a single point-to-point message in the synchronous network.
 // The From field is stamped by the network itself, which models message
 // authentication: a Byzantine node cannot spoof another node's identity.
 type Message struct {
 	// From is the link index of the sender, stamped by the network.
 	From int
-	// To is the link index of the recipient.
+	// To is the link index of the recipient, or ToAll for a shared
+	// broadcast expanded at delivery.
 	To int
 	// Payload is the message content.
 	Payload Payload
@@ -28,18 +37,21 @@ type Message struct {
 // Outbox is the set of messages a node emits in one round.
 type Outbox []Message
 
-// Broadcast appends one message carrying p to every link in [0, n), the
-// paper's "send via n links" primitive (this includes the sender's own
-// link, as in the paper's complete-network model).
+// Broadcast emits p to every link in [0, n), the paper's "send via n
+// links" primitive (this includes the sender's own link, as in the
+// paper's complete-network model). n must be the network size; the
+// returned outbox holds a single ToAll entry that the engine fans out at
+// delivery, so a broadcast costs O(1) sender-side memory while still
+// being metered as n point-to-point messages on the wire.
 func Broadcast(from, n int, p Payload) Outbox {
-	out := make(Outbox, 0, n)
-	for to := 0; to < n; to++ {
-		out = append(out, Message{From: from, To: to, Payload: p})
-	}
-	return out
+	_ = n // fan-out width is the network size, resolved by the engine
+	return Outbox{{From: from, To: ToAll, Payload: p}}
 }
 
-// Multicast appends one message carrying p to each listed recipient.
+// Multicast appends one message carrying p to each listed recipient. The
+// payload itself is shared across the entries; only the fixed-size
+// headers are materialized per recipient, which is cheap at the
+// committee-sized fan-outs Multicast is used for.
 func Multicast(from int, to []int, p Payload) Outbox {
 	out := make(Outbox, 0, len(to))
 	for _, t := range to {

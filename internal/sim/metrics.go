@@ -119,6 +119,31 @@ func (s *metricShard) add(kind string, bits int, honest bool, limit int) {
 	s.runBits += int64(bits)
 }
 
+// addN records count identical on-the-wire messages — the shared-broadcast
+// fast path, where one ToAll outbox entry becomes count wire messages of
+// the same kind and size. Exactly equivalent to count consecutive add
+// calls, including the run-length cache interaction.
+func (s *metricShard) addN(kind string, bits int, count int64, honest bool, limit int) {
+	s.messages += count
+	s.bits += int64(bits) * count
+	if honest {
+		s.honestMessages += count
+		s.honestBits += int64(bits) * count
+		if bits > s.maxMessageBits {
+			s.maxMessageBits = bits
+		}
+		if limit > 0 && bits > limit {
+			s.oversize += count
+		}
+	}
+	if kind != s.runKind {
+		s.flushRun()
+		s.runKind = kind
+	}
+	s.runCount += count
+	s.runBits += int64(bits) * count
+}
+
 // flushRun spills the run-length cache into the per-kind maps.
 func (s *metricShard) flushRun() {
 	if s.runCount != 0 {

@@ -88,6 +88,14 @@ func WithObserver(observer func(round int, delivered []Message)) Option {
 	return func(e *engine) { e.observer = observer }
 }
 
+// WithRoundEnd registers a hook invoked on the coordinator at the end of
+// every round, after delivery and metric folding. Hooks run sequentially
+// in registration order and never concurrently with node steps — the
+// natural place to reset per-round caches such as auth.Memo.
+func WithRoundEnd(fn func()) Option {
+	return func(e *engine) { e.roundEnd = append(e.roundEnd, fn) }
+}
+
 // WithEngineWorkers pins the engine's worker count (shards) instead of
 // the GOMAXPROCS default. Results are bit-identical at every setting —
 // the determinism tests exercise exactly that — so this is a performance

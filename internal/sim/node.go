@@ -28,3 +28,17 @@ type Node interface {
 	// the network can stop early once every alive node has halted.
 	Halted() bool
 }
+
+// Quiescent is an optional Node extension for large sweeps. A node whose
+// *current* state guarantees that a Step call with an EMPTY inbox would
+// be a pure no-op — no state change, no output, no randomness consumed,
+// the round number ignored — reports true, and the engine elides the
+// call entirely that round. Eliding such a call is observationally
+// identical to making it (it could only have returned an empty outbox),
+// so telemetry is bit-identical; the interface merely lets a node
+// vouch for that, since the engine cannot prove it. Nodes whose idle
+// rounds have side effects (round counters, timers, randomness) must
+// not implement it, or must return false in those states.
+type Quiescent interface {
+	Quiescent() bool
+}

@@ -236,8 +236,8 @@ func TestDeriveSeedStreamsDiffer(t *testing.T) {
 
 func TestBroadcastMulticast(t *testing.T) {
 	out := Broadcast(2, 4, pingPayload{size: 1})
-	if len(out) != 4 {
-		t.Fatalf("broadcast len %d", len(out))
+	if len(out) != 1 || out[0].To != ToAll || out[0].From != 2 {
+		t.Fatalf("broadcast not a shared ToAll entry: %v", out)
 	}
 	out = Multicast(0, []int{1, 3}, pingPayload{size: 1})
 	if len(out) != 2 || out[0].To != 1 || out[1].To != 3 {

@@ -73,20 +73,24 @@ func RunBaseline(n int, spec BaselineSpec) (*Result, error) {
 	case BaselineConsensusBroadcast:
 		dsCfg := baseline.ConsensusRenameConfig{N: spec.N, IDs: spec.IDs, Seed: spec.Seed}
 		authority := auth.NewAuthority(spec.Seed, n)
+		// One shared verification memo: a relayed chain reaching all n
+		// recipients is verified once, not n times. Reset every round.
+		memo := authority.NewMemo()
 		byzSet := make(map[int]bool, len(spec.Byzantine))
 		for _, link := range spec.Byzantine {
 			byzSet[link] = true
 		}
 		factory := func(i int) outputNode {
 			if !byzSet[i] {
-				return baseline.NewConsensusRenameNode(dsCfg, i, authority)
+				return baseline.NewConsensusRenameNode(dsCfg, i, authority, memo)
 			}
 			if i%2 == 0 {
 				return baseline.SilentNode{}
 			}
 			return baseline.NewDSEquivocator(dsCfg, i, authority)
 		}
-		res, err := runBaselineNodes(n, spec, byzSet, factory, dsCfg.TotalRounds()+1)
+		res, err := runBaselineNodes(n, spec, byzSet, factory, dsCfg.TotalRounds()+1,
+			sim.WithRoundEnd(memo.Reset))
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +134,7 @@ type outputNode interface {
 	Output() (int, bool)
 }
 
-func runBaselineNodes(n int, spec BaselineSpec, byzSet map[int]bool, factory func(int) outputNode, maxRounds int) (*Result, error) {
+func runBaselineNodes(n int, spec BaselineSpec, byzSet map[int]bool, factory func(int) outputNode, maxRounds int, extra ...sim.Option) (*Result, error) {
 	nodes := make([]outputNode, n)
 	simNodes := make([]sim.Node, n)
 	var byzLinks []int
@@ -148,6 +152,7 @@ func runBaselineNodes(n int, spec BaselineSpec, byzSet map[int]bool, factory fun
 	if spec.CongestLimit > 0 {
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
 	}
+	opts = append(opts, extra...)
 	nw := sim.NewNetwork(simNodes, opts...)
 	defer nw.Close()
 	if err := nw.Run(maxRounds); err != nil {

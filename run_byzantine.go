@@ -86,6 +86,10 @@ type ByzSpec struct {
 	// CongestLimit, when positive, flags honest messages above this many
 	// bits in Result.OversizeMessages (CONGEST-model check).
 	CongestLimit int
+	// EngineWorkers, when positive, pins the round engine's worker count
+	// (sim.WithEngineWorkers). Results are bit-identical at any setting;
+	// determinism tests use it to compare worker counts explicitly.
+	EngineWorkers int
 }
 
 // RunByzantine executes the Byzantine-resilient renaming algorithm of
@@ -121,6 +125,8 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 		return nil, fmt.Errorf("renaming: %d Byzantine nodes exceed the bound %d = (1/3−ε₀)·n",
 			len(spec.Byzantine), cfg.MaxByzantine())
 	}
+	// Derive the candidate pool once; all n node constructors share it.
+	cfg = cfg.Precompute()
 
 	honest := make(map[int]*core.ByzNode, n)
 	simNodes := make([]sim.Node, n)
@@ -141,6 +147,9 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 	opts := []sim.Option{sim.WithByzantine(byzLinks)}
 	if len(rushLinks) > 0 {
 		opts = append(opts, sim.WithRushing(rushLinks))
+	}
+	if spec.EngineWorkers > 0 {
+		opts = append(opts, sim.WithEngineWorkers(spec.EngineWorkers))
 	}
 	var recorder *trace.Recorder
 	if spec.Trace != nil || spec.Profile {
