@@ -15,6 +15,7 @@ ci:
 	$(GO) test ./... -short -race
 	$(GO) test -run '^$$' -bench StepRound -benchtime 1x ./internal/sim
 	$(GO) test -run '^$$' -bench ByzStepRound -benchtime 1x .
+	$(GO) test -run '^$$' -bench CrashStepRound -benchtime 1x .
 	$(GO) run ./cmd/campaign -algo crash -n 64 -execs 50 -seed 1
 
 build:
@@ -34,10 +35,14 @@ cover:
 	$(GO) test -short -cover ./...
 
 # Full benchmark sweep. The raw text passes through unchanged; every
-# Byzantine-path benchmark additionally lands in BENCH_byz.json, the
-# structured before/after ledger (cmd/benchjson).
+# Byzantine-path benchmark additionally lands in BENCH_byz.json and
+# every crash-path benchmark in BENCH_crash.json, the structured
+# before/after ledgers (cmd/benchjson chains: each stage records its
+# matches and passes the text through).
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -match Byz -out BENCH_byz.json
+	$(GO) test -run '^$$' -bench=. -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -match Byz -out BENCH_byz.json \
+		| $(GO) run ./cmd/benchjson -match Crash -out BENCH_crash.json
 
 # Regenerate every table/figure of the reproduction (minutes).
 experiments:

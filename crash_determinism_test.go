@@ -1,0 +1,58 @@
+package renaming_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"renaming"
+)
+
+// crashGoldenFingerprint pins the complete telemetry (JSON-marshalled
+// Result, including per-round traffic profile) of one adversarial crash
+// execution at n = 256 under the committee killer with mid-send crashes.
+// Update it only for a deliberate behaviour change, never for a
+// performance change: every engine or algorithm optimisation — schedule
+// quiescence, shared broadcasts, pooled scratch, interval-grouped
+// committee ranking — must reproduce this byte-for-byte.
+const crashGoldenFingerprint = "a00ef320ae43a698bfb7898386d246e5ee40f79fc62a939279d4b087b60bdc71"
+
+// TestCrashDeterminism runs the same adversarial crash execution with
+// the round engine pinned to 1 worker and to 8 workers and requires
+// both to match the golden fingerprint. The 1-worker run exercises the
+// coordinator-only fast paths, the 8-worker run the sharded phases,
+// barriers, and counting-sort delivery; the committee killer with
+// mid-send crashes exercises the crash-filter expansion of shared
+// broadcasts. Identical hashes prove the crash path's fast paths are
+// observationally invisible — the regression oracle the perf work is
+// measured against (mirrors TestByzantineDeterminism).
+func TestCrashDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		res, err := renaming.RunCrash(256, renaming.CrashSpec{
+			Seed:           77,
+			CommitteeScale: 0.02,
+			Fault: renaming.FaultSpec{
+				Kind:    renaming.FaultCommitteeKiller,
+				Budget:  64,
+				MidSend: true,
+			},
+			Profile:       true,
+			EngineWorkers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Unique {
+			t.Fatalf("workers=%d: surviving nodes did not rename uniquely", workers)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		sum := sha256.Sum256(blob)
+		if got := hex.EncodeToString(sum[:]); got != crashGoldenFingerprint {
+			t.Errorf("workers=%d: telemetry fingerprint %s, want %s", workers, got, crashGoldenFingerprint)
+		}
+	}
+}

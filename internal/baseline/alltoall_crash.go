@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"renaming/internal/interval"
 	"renaming/internal/sim"
 )
@@ -114,19 +112,20 @@ func (node *AllToAllCrashNode) applyHalving(statuses []StatusPayload) {
 	if node.d != minDepth {
 		return
 	}
-	var ids []int
+	// Identities are unique, so the node's rank among the (sorted)
+	// identities that chose its interval is 1 + #{smaller ones} — one
+	// counting pass, no identity list, no sort.
+	rank := 1
 	subBot := 0
 	bot := node.iv.Bot()
 	for _, s := range statuses {
-		if s.I == node.iv {
-			ids = append(ids, s.ID)
+		if s.I == node.iv && s.ID < node.id {
+			rank++
 		}
 		if bot.Contains(s.I) {
 			subBot++
 		}
 	}
-	sort.Ints(ids)
-	rank := sort.SearchInts(ids, node.id) + 1
 	if subBot+rank <= bot.Size() {
 		node.iv = bot
 	} else {

@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"renaming/internal/sim"
 )
 
@@ -59,14 +57,16 @@ func (node *CollectSortNode) Step(round int, inbox []sim.Message) sim.Outbox {
 	if round == 0 {
 		return sim.Broadcast(node.idx, node.n, IDPayload{ID: node.id, SizeN: node.sizeN})
 	}
-	ids := make([]int, 0, len(inbox))
+	// Rank = 1 + #{received identities smaller than ours}. Identities
+	// are unique, so this equals the old collect-sort-search rank without
+	// materialising or sorting the identity list.
+	rank := 1
 	for _, msg := range inbox {
-		if p, ok := msg.Payload.(IDPayload); ok {
-			ids = append(ids, p.ID)
+		if p, ok := msg.Payload.(IDPayload); ok && p.ID < node.id {
+			rank++
 		}
 	}
-	sort.Ints(ids)
-	node.newID = sort.SearchInts(ids, node.id) + 1
+	node.newID = rank
 	node.halted = true
 	return nil
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"renaming"
 )
@@ -137,6 +138,65 @@ type Oracle struct {
 	Expect Expectation
 }
 
+// oracleScratch is the per-Check recomputation scratch, pooled because
+// the campaign driver calls Check concurrently from its runner workers:
+// an epoch-stamped decided-name table (no per-execution map fill/clear)
+// plus the order-recheck pair buffer. A 500-execution campaign reuses a
+// handful of these instead of allocating n-entry maps 500 times.
+type oracleScratch struct {
+	seenLink  []int32 // newID in [0, n] → first/latest link, epoch-gated
+	seenStamp []uint32
+	epoch     uint32
+	overflow  map[int]int // decided names outside [0, n] (violations only)
+	pairs     []orderPair
+}
+
+var oracleScratchPool = sync.Pool{New: func() any { return new(oracleScratch) }}
+
+// reset prepares the scratch for one execution over target namespace
+// [1, n]; bumping the epoch invalidates every previous stamp in O(1).
+func (s *oracleScratch) reset(n int) {
+	if cap(s.seenLink) < n+1 {
+		s.seenLink = make([]int32, n+1)
+		s.seenStamp = make([]uint32, n+1)
+		s.epoch = 0
+	}
+	s.seenLink = s.seenLink[:n+1]
+	s.seenStamp = s.seenStamp[:n+1]
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap: old entries would look current
+		clear(s.seenStamp)
+		s.epoch = 1
+	}
+	if s.overflow != nil {
+		clear(s.overflow)
+	}
+}
+
+// record notes that link decided newID and returns the previously
+// recorded link for the same name (dup=true), overwriting it — exactly
+// the semantics of the map this replaces, including names outside the
+// namespace (tracked in the overflow map so duplicate out-of-range
+// decisions still surface as uniqueness breaches).
+func (s *oracleScratch) record(newID, link int) (prev int, dup bool) {
+	if newID >= 0 && newID < len(s.seenLink) {
+		if s.seenStamp[newID] == s.epoch {
+			prev = int(s.seenLink[newID])
+			s.seenLink[newID] = int32(link)
+			return prev, true
+		}
+		s.seenStamp[newID] = s.epoch
+		s.seenLink[newID] = int32(link)
+		return 0, false
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[int]int)
+	}
+	prev, dup = s.overflow[newID]
+	s.overflow[newID] = link
+	return prev, dup
+}
+
 // Check verifies one execution result against the expectation and
 // returns the violations found (Invariant and Detail populated; the
 // campaign driver fills Exec/Seed/Strategy). ids are the original
@@ -149,11 +209,14 @@ func (o Oracle) Check(n int, ids []int, res *renaming.Result) []Violation {
 	}
 	guaranteed := !o.Expect.OnlyWhenAssumptionHolds || res.AssumptionHolds
 
+	scratch := oracleScratchPool.Get().(*oracleScratch)
+	defer oracleScratchPool.Put(scratch)
+
 	if o.Expect.RequireUnique && guaranteed {
 		// Recompute distinctness and namespace tightness from the raw
 		// decisions instead of trusting res.Unique; then cross-check the
 		// two verdicts so a bookkeeping bug in either layer surfaces.
-		seen := make(map[int]int, n)
+		scratch.reset(n)
 		recomputedUnique := true
 		decided := 0
 		for link, newID := range res.NewIDByLink {
@@ -165,11 +228,10 @@ func (o Oracle) Check(n int, ids []int, res *renaming.Result) []Violation {
 				recomputedUnique = false
 				add(InvNamespace, "link %d decided %d outside [1, %d]", link, newID, n)
 			}
-			if prev, dup := seen[newID]; dup {
+			if prev, dup := scratch.record(newID, link); dup {
 				recomputedUnique = false
 				add(InvUniqueness, "links %d and %d both decided %d", prev, link, newID)
 			}
-			seen[newID] = link
 		}
 		faulty := res.Crashes + res.Byzantine
 		if decided < n-faulty {
@@ -181,7 +243,10 @@ func (o Oracle) Check(n int, ids []int, res *renaming.Result) []Violation {
 		}
 	}
 	if o.Expect.RequireOrder && guaranteed {
-		if bad, ok := orderBreach(ids, res.NewIDByLink); ok {
+		var bad string
+		var breached bool
+		scratch.pairs, bad, breached = orderBreach(ids, res.NewIDByLink, scratch.pairs)
+		if breached {
 			add(InvOrder, "%s", bad)
 		}
 	}
@@ -203,29 +268,32 @@ func (o Oracle) Check(n int, ids []int, res *renaming.Result) []Violation {
 	return out
 }
 
+// orderPair is one decided link in the order recheck.
+type orderPair struct{ link, oldID, newID int }
+
 // orderBreach independently rechecks order preservation over the
 // decided links: sorted by original identity, new names must strictly
-// increase.
-func orderBreach(ids []int, newIDs []int) (string, bool) {
+// increase. pairs is caller-owned scratch, returned with any growth so
+// it can be reused across executions.
+func orderBreach(ids []int, newIDs []int, pairs []orderPair) ([]orderPair, string, bool) {
 	if len(ids) != len(newIDs) {
-		return fmt.Sprintf("oracle: %d ids for %d links", len(ids), len(newIDs)), true
+		return pairs, fmt.Sprintf("oracle: %d ids for %d links", len(ids), len(newIDs)), true
 	}
-	type pair struct{ link, oldID, newID int }
-	var pairs []pair
+	pairs = pairs[:0]
 	for link, newID := range newIDs {
 		if newID >= 0 {
-			pairs = append(pairs, pair{link: link, oldID: ids[link], newID: newID})
+			pairs = append(pairs, orderPair{link: link, oldID: ids[link], newID: newID})
 		}
 	}
 	sort.Slice(pairs, func(a, b int) bool { return pairs[a].oldID < pairs[b].oldID })
 	for i := 1; i < len(pairs); i++ {
 		a, b := pairs[i-1], pairs[i]
 		if b.newID <= a.newID {
-			return fmt.Sprintf("links %d (old %d → new %d) and %d (old %d → new %d) swap order",
+			return pairs, fmt.Sprintf("links %d (old %d → new %d) and %d (old %d → new %d) swap order",
 				a.link, a.oldID, a.newID, b.link, b.oldID, b.newID), true
 		}
 	}
-	return "", false
+	return pairs, "", false
 }
 
 // Codes compresses violations to their invariant codes (deduplicated,

@@ -126,9 +126,25 @@ type CrashNode struct {
 	// committeeLinks holds, during rounds 3k+1 and 3k+2, the links that
 	// announced committee membership this phase.
 	committeeLinks []int
+
+	// Reusable scratch, all owned by this node and safe under the
+	// engine's one-round buffer slack: an outbox or payload written in
+	// round r is copied/delivered within round r and read by recipients
+	// in round r+1, while the owner rewrites it no earlier than round
+	// r+3 (the next occurrence of the same schedule slot).
+	outBuf    sim.Outbox      // outbox reused across every round
+	statusBox StatusPayload   // the one status box multicast each phase
+	respBuf   []ResponsePayload
+	statuses  []statusMsg     // committeeAction: collected status pointers
+	groups    []ivGroup       // committeeAction: distinct intervals
+	groupIdx  []int32         // committeeAction: per status → group index
+	idBuf     []int           // committeeAction: per-group sorted ID buckets
+	groupOf   map[interval.Interval]int32
+	botAcc    map[interval.Interval]int
 }
 
 var _ sim.Node = (*CrashNode)(nil)
+var _ sim.ScheduleQuiescent = (*CrashNode)(nil)
 
 // NewCrashNode constructs the node at link index idx. The initial
 // self-election with probability 256·log n/n (Figure 1 line 2) happens
@@ -192,6 +208,19 @@ func (node *CrashNode) EverElected() bool { return node.everElected }
 // checks in tests.
 func (node *CrashNode) State() (interval.Interval, int, int) { return node.iv, node.d, node.p }
 
+// QuiescentAt implements sim.ScheduleQuiescent: an empty inbox is a
+// pure no-op in the send-status round (nothing announced, nothing to
+// report) and in the committee round (no statuses to decide on), so the
+// engine may elide those Step calls for the ~n idle nodes each phase.
+// It is NOT a no-op at the start of a phase (round 3k): an empty inbox
+// there is the committee-wipe signal of Figure 3 lines 1–3, which
+// doubles p and draws re-election randomness, and elected nodes
+// broadcast their Notify announcement in that round regardless of the
+// inbox.
+func (node *CrashNode) QuiescentAt(round int) bool {
+	return node.halted || round%3 != 0
+}
+
 // Step implements sim.Node.
 func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 	if node.halted {
@@ -204,7 +233,11 @@ func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 			return nil
 		}
 		if node.elected {
-			return sim.Broadcast(node.idx, node.n, NotifyPayload{})
+			// Shared-broadcast representation: stored once, billed as n
+			// wire messages (sim.ToAll), reusing the node's outbox buffer.
+			node.outBuf = append(node.outBuf[:0],
+				sim.Message{From: node.idx, To: sim.ToAll, Payload: NotifyPayload{}})
+			return node.outBuf
 		}
 		return nil
 	case 1:
@@ -214,11 +247,19 @@ func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 				node.committeeLinks = append(node.committeeLinks, msg.From)
 			}
 		}
-		status := StatusPayload{
+		// One status box per phase, shared by every copy of the
+		// multicast; recipients read it next round, long before the
+		// next rewrite two rounds later.
+		node.statusBox = StatusPayload{
 			ID: node.id, I: node.iv, D: node.d, P: node.p,
 			SizeN: node.cfg.N, SizeSmallN: node.n,
 		}
-		return sim.Multicast(node.idx, node.committeeLinks, status)
+		out := node.outBuf[:0]
+		for _, link := range node.committeeLinks {
+			out = append(out, sim.Message{From: node.idx, To: link, Payload: &node.statusBox})
+		}
+		node.outBuf = out
+		return out
 	default:
 		if !node.elected {
 			return nil
@@ -227,55 +268,192 @@ func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 	}
 }
 
-// statusMsg pairs a received status with its sender link.
+// statusMsg pairs a received status with its sender link. The pointer
+// stays valid for the whole committee round: senders rewrite their
+// status box no earlier than the next send-status round.
 type statusMsg struct {
 	link int
-	s    StatusPayload
+	s    *StatusPayload
+}
+
+// ivGroup aggregates the statuses that chose one distinct interval, so
+// rank and sub-interval counts are computed once per distinct interval
+// instead of once per status (the baseline applyPhase's grouping,
+// applied to the committee hot loop).
+type ivGroup struct {
+	iv     interval.Interval
+	count  int32 // statuses with exactly this interval
+	start  int32 // offset of this group's ID bucket in idBuf
+	filled int32 // bucket fill cursor
+	hasMin bool  // some status at the frontier depth chose this interval
 }
 
 // committeeAction implements Figure 2. The committee member halves the
 // intervals of exactly the minimum-depth statuses; deeper statuses are
 // echoed unchanged (with the member's fresher p), which keeps all nodes
 // at most one depth level apart.
+//
+// The per-status work of the halving rule — collecting and sorting the
+// identities that chose the same interval, and counting the identities
+// inside bot(I) — is shared across every status with the same interval:
+// IDs are bucketed and sorted once per distinct interval, and the
+// bot(I) occupancy of every needed interval is accumulated along one
+// root-to-interval walk of the halving tree per distinct interval
+// (tree vertices are nested or disjoint, so the intervals contained in
+// bot(I) are exactly those whose root path passes through it). That
+// turns the old O(K²) pass over K statuses into O(K log K + G log n)
+// for G distinct intervals, with all scratch reused across rounds —
+// the change that makes the n = 65536 sweeps feasible. Results are
+// byte-identical: rank and count are the same quantities, computed
+// grouped.
 func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
-	var statuses []statusMsg
+	statuses := node.statuses[:0]
 	for _, msg := range inbox {
-		if s, ok := msg.Payload.(StatusPayload); ok {
+		if s, ok := msg.Payload.(*StatusPayload); ok {
 			statuses = append(statuses, statusMsg{link: msg.From, s: s})
 		}
 	}
+	node.statuses = statuses
 	if len(statuses) == 0 {
 		return nil
 	}
 
-	// Figure 1 line 10: adopt the maximum received p.
+	// One pass: adopt the maximum received p (Figure 1 line 10), find
+	// the frontier depth d~ = min d, and check the early-stop condition.
+	minDepth := statuses[0].s.D
+	allUnit := true
 	for _, m := range statuses {
 		if m.s.P > node.p {
 			node.p = m.s.P
 		}
-	}
-
-	// d~ = minimum depth among received statuses.
-	minDepth := statuses[0].s.D
-	for _, m := range statuses {
 		if m.s.D < minDepth {
 			minDepth = m.s.D
 		}
-	}
-
-	allUnit := true
-	for _, m := range statuses {
 		if !m.s.I.Unit() {
 			allUnit = false
-			break
 		}
 	}
 
-	out := make(sim.Outbox, 0, len(statuses))
+	// Group statuses by distinct interval.
+	if node.groupOf == nil {
+		node.groupOf = make(map[interval.Interval]int32)
+	}
+	clear(node.groupOf)
+	groups := node.groups[:0]
+	groupIdx := node.groupIdx[:0]
 	for _, m := range statuses {
+		gi, ok := node.groupOf[m.s.I]
+		if !ok {
+			gi = int32(len(groups))
+			groups = append(groups, ivGroup{iv: m.s.I})
+			node.groupOf[m.s.I] = gi
+		}
+		g := &groups[gi]
+		g.count++
+		if m.s.D == minDepth {
+			g.hasMin = true
+		}
+		groupIdx = append(groupIdx, gi)
+	}
+	node.groups = groups
+	node.groupIdx = groupIdx
+
+	// Bucket the IDs per group and sort the buckets that the halving
+	// rule will rank against (frontier depth, non-unit interval).
+	if cap(node.idBuf) < len(statuses) {
+		node.idBuf = make([]int, len(statuses))
+	}
+	idBuf := node.idBuf[:len(statuses)]
+	var off int32
+	for i := range groups {
+		groups[i].start = off
+		groups[i].filled = off
+		off += groups[i].count
+	}
+	for j, m := range statuses {
+		g := &groups[groupIdx[j]]
+		idBuf[g.filled] = m.s.ID
+		g.filled++
+	}
+	for i := range groups {
+		g := &groups[i]
+		if g.hasMin && !g.iv.Unit() {
+			sort.Ints(idBuf[g.start : g.start+g.count])
+		}
+	}
+
+	// Accumulate |B_(u,w)| = #statuses inside bot(I) for every distinct
+	// frontier interval I, by walking each group's root path once.
+	if node.botAcc == nil {
+		node.botAcc = make(map[interval.Interval]int)
+	}
+	botAcc := node.botAcc
+	clear(botAcc)
+	needBot := false
+	for i := range groups {
+		g := &groups[i]
+		if g.hasMin && !g.iv.Unit() {
+			botAcc[g.iv.Bot()] = 0
+			needBot = true
+		}
+	}
+	if needBot {
+		root := interval.Full(node.n)
+		nonTree := false
+	walk:
+		for i := range groups {
+			g := &groups[i]
+			cur := root
+			for {
+				if c, ok := botAcc[cur]; ok {
+					botAcc[cur] = c + int(g.count)
+				}
+				if cur == g.iv || cur.Unit() {
+					break
+				}
+				if b := cur.Bot(); b.Contains(g.iv) {
+					cur = b
+					continue
+				}
+				if t := cur.Top(); t.Contains(g.iv) {
+					cur = t
+					continue
+				}
+				// g.iv is not a vertex of the halving tree — impossible
+				// for statuses produced by this algorithm, but fall back
+				// to the exact quadratic count rather than miscount.
+				nonTree = true
+				break walk
+			}
+		}
+		if nonTree {
+			for k := range botAcc {
+				botAcc[k] = 0
+			}
+			for i := range groups {
+				g := &groups[i]
+				for k := range botAcc {
+					if k.Contains(g.iv) {
+						botAcc[k] += int(g.count)
+					}
+				}
+			}
+		}
+	}
+
+	// Emit one response per status, in inbox order, into the reused
+	// response arena; recipients read the boxes next round, before the
+	// next committee round rewrites them.
+	if cap(node.respBuf) < len(statuses) {
+		node.respBuf = make([]ResponsePayload, len(statuses))
+	}
+	respBuf := node.respBuf[:len(statuses)]
+	out := node.outBuf[:0]
+	early := node.cfg.EarlyStop && allUnit
+	for j, m := range statuses {
 		w := m.s
-		resp := ResponsePayload{ID: w.ID, SizeN: node.cfg.N, SizeSmallN: node.n,
-			Done: node.cfg.EarlyStop && allUnit}
+		resp := &respBuf[j]
+		*resp = ResponsePayload{ID: w.ID, SizeN: node.cfg.N, SizeSmallN: node.n, Done: early}
 		switch {
 		case w.D != minDepth:
 			// Deeper than the frontier: echo unchanged (Figure 2 line 11).
@@ -289,21 +467,14 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 			// response anyway (NodeAction only updates when |I_v| > 1).
 			resp.I, resp.D = w.I, w.D+1
 		default:
-			// The halving rule of Figure 2 lines 4–9.
-			var ids []int       // ID_(u,w): identities choosing exactly I_w
-			var subBotCount int // |B_(u,w)|: identities inside bot(I_w)
+			// The halving rule of Figure 2 lines 4–9, over the grouped
+			// quantities: rank of ID(w) among the identities that chose
+			// I_w, plus the occupancy of bot(I_w).
+			g := &groups[groupIdx[j]]
+			bucket := idBuf[g.start : g.start+g.count]
+			rank := sort.SearchInts(bucket, w.ID) + 1
 			bot := w.I.Bot()
-			for _, o := range statuses {
-				if o.s.I == w.I {
-					ids = append(ids, o.s.ID)
-				}
-				if bot.Contains(o.s.I) {
-					subBotCount++
-				}
-			}
-			sort.Ints(ids)
-			rank := sort.SearchInts(ids, w.ID) + 1
-			if subBotCount+rank <= bot.Size() {
+			if botAcc[bot]+rank <= bot.Size() {
 				resp.I, resp.D = bot, w.D+1
 			} else {
 				resp.I, resp.D = w.I.Top(), w.D+1
@@ -312,6 +483,8 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 		resp.P = node.p
 		out = append(out, sim.Message{From: node.idx, To: m.link, Payload: resp})
 	}
+	node.respBuf = respBuf
+	node.outBuf = out
 	return out
 }
 
@@ -321,14 +494,31 @@ func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
 	if round == 0 {
 		return // no previous phase
 	}
-	var responses []ResponsePayload
+	// One pass over the inbox: the response the old stable sort put
+	// first is the minimum under (D descending, then interval Less) with
+	// earliest-arrival tie-breaking — tracked directly, along with the
+	// maximum received p and the early-stop flag, without materialising
+	// or reordering a responses slice.
+	var best *ResponsePayload
+	maxP := node.p
+	sawDone := false
 	for _, msg := range inbox {
-		if r, ok := msg.Payload.(ResponsePayload); ok {
-			responses = append(responses, r)
+		r, ok := msg.Payload.(*ResponsePayload)
+		if !ok {
+			continue
+		}
+		if best == nil || r.D > best.D || (r.D == best.D && interval.Less(r.I, best.I)) {
+			best = r
+		}
+		if r.P > maxP {
+			maxP = r.P
+		}
+		if r.Done {
+			sawDone = true
 		}
 	}
 
-	if len(responses) == 0 {
+	if best == nil {
 		// Figure 3 lines 1–3: the whole committee crashed this phase.
 		if !node.cfg.DisableReelectionDoubling {
 			node.p++
@@ -340,22 +530,9 @@ func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
 	} else {
 		// Figure 3 lines 5–12: adopt the deepest (then leftmost)
 		// decision, then catch up on p.
-		sort.SliceStable(responses, func(a, b int) bool {
-			if responses[a].D != responses[b].D {
-				return responses[a].D > responses[b].D
-			}
-			return interval.Less(responses[a].I, responses[b].I)
-		})
-		first := responses[0]
 		if !node.iv.Unit() {
-			node.d = first.D
-			node.iv = first.I
-		}
-		maxP := node.p
-		for _, r := range responses {
-			if r.P > maxP {
-				maxP = r.P
-			}
+			node.d = best.D
+			node.iv = best.I
 		}
 		if maxP > node.p {
 			node.p = maxP
@@ -364,14 +541,10 @@ func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
 				node.everElected = true
 			}
 		}
-		if node.cfg.EarlyStop {
-			for _, r := range responses {
-				if r.Done && node.iv.Unit() {
-					node.halted = true
-					node.decided = true
-					return
-				}
-			}
+		if node.cfg.EarlyStop && sawDone && node.iv.Unit() {
+			node.halted = true
+			node.decided = true
+			return
 		}
 	}
 

@@ -181,7 +181,7 @@ func E2CrashRounds(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		sizes = append(sizes, 4096)
 		if cfg.Full {
-			sizes = append(sizes, 16384, 32768)
+			sizes = append(sizes, 16384, 32768, 65536)
 		}
 	}
 	var points []runner.Point
@@ -699,7 +699,7 @@ func E3nCrashMessagesVsN(cfg Config) (*Table, error) {
 	// exactly the wall Theorem 1.2 escapes, so its column is left blank.
 	var oursOnly []int
 	if !cfg.Quick && cfg.Full {
-		oursOnly = []int{4096, 8192, 16384, 32768}
+		oursOnly = []int{4096, 8192, 16384, 32768, 65536}
 	}
 	const f = 8
 	var points []runner.Point

@@ -37,7 +37,8 @@ import (
 // sort delivery, at every worker count.
 type engine struct {
 	nodes   []Node
-	quiet   []Quiescent // nodes[i] as Quiescent, nil if not implemented
+	quiet   []Quiescent         // nodes[i] as Quiescent, nil if not implemented
+	quietAt []ScheduleQuiescent // nodes[i] as ScheduleQuiescent, nil if not implemented
 	alive   []bool
 	adv     CrashAdversary
 	metrics *Metrics
@@ -142,11 +143,15 @@ func newEngine(nodes []Node) *engine {
 		keepFor:   make(map[int][]bool),
 	}
 	e.quiet = make([]Quiescent, n)
+	e.quietAt = make([]ScheduleQuiescent, n)
 	for i := range e.alive {
 		e.alive[i] = true
 		e.crashedAt[i] = -1
 		if q, ok := nodes[i].(Quiescent); ok {
 			e.quiet[i] = q
+		}
+		if q, ok := nodes[i].(ScheduleQuiescent); ok {
+			e.quietAt[i] = q
 		}
 	}
 	e.metrics.sizeFor(n)
@@ -408,7 +413,7 @@ func (e *engine) phaseStep(lo, hi int) {
 			if e.rushing[i] || !e.shouldStep(i) {
 				continue
 			}
-			if len(e.inboxes[i]) == 0 && e.quiet[i] != nil && e.quiet[i].Quiescent() {
+			if len(e.inboxes[i]) == 0 && e.idleVouched(i) {
 				continue
 			}
 			e.acted[i] = true
@@ -423,7 +428,7 @@ func (e *engine) phaseStep(lo, hi int) {
 		if e.rushing[i] || !e.shouldStep(i) {
 			continue
 		}
-		if len(e.inboxes[i]) == 0 && e.quiet[i] != nil && e.quiet[i].Quiescent() {
+		if len(e.inboxes[i]) == 0 && e.idleVouched(i) {
 			// The node vouches that this call would be a pure no-op (see
 			// Quiescent); eliding it is observationally identical. acted
 			// stays false, which downstream phases treat as "empty outbox".
@@ -432,6 +437,20 @@ func (e *engine) phaseStep(lo, hi int) {
 		e.acted[i] = true
 		e.outs[i] = e.nodes[i].Step(e.round, e.inboxes[i])
 	}
+}
+
+// idleVouched reports that node i vouches — through either quiescence
+// contract — that a Step call with an empty inbox this round would be a
+// pure no-op. The decision is a function of the node's own state and
+// the round number only, so it is identical at every worker count.
+func (e *engine) idleVouched(i int) bool {
+	if q := e.quiet[i]; q != nil && q.Quiescent() {
+		return true
+	}
+	if q := e.quietAt[i]; q != nil && q.QuiescentAt(e.round) {
+		return true
+	}
+	return false
 }
 
 // stepRushers — wave 2, on the coordinator: rushing nodes step with a

@@ -42,3 +42,20 @@ type Node interface {
 type Quiescent interface {
 	Quiescent() bool
 }
+
+// ScheduleQuiescent is the round-aware variant of Quiescent for
+// protocols built on a fixed round schedule, where whether an empty
+// inbox is meaningful depends on the position within the schedule. The
+// crash-renaming node is the motivating case: an empty inbox in a
+// send-status or committee round is provably a no-op (nothing to
+// report, nothing to decide), but an empty inbox at the start of a
+// phase is the committee-wipe signal that doubles the re-election
+// probability — a state change plus a random draw, which must never be
+// elided. QuiescentAt(round) reports that a Step call at exactly that
+// round with an EMPTY inbox would be a pure no-op, under the same
+// obligations as Quiescent; the engine asks with the round it is about
+// to execute. A node may implement either interface or both (elision
+// happens if either vouches).
+type ScheduleQuiescent interface {
+	QuiescentAt(round int) bool
+}

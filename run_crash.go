@@ -104,6 +104,10 @@ type CrashSpec struct {
 	// CongestLimit, when positive, flags honest messages above this many
 	// bits in Result.OversizeMessages (CONGEST-model check).
 	CongestLimit int
+	// EngineWorkers, when positive, pins the round engine's worker count
+	// (sim.WithEngineWorkers). Results are bit-identical at any setting;
+	// the determinism test locks a golden fingerprint at 1 and 8.
+	EngineWorkers int
 }
 
 // RunCrash executes the crash-resilient renaming algorithm of Section 2
@@ -149,6 +153,9 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 	}
 	if spec.CongestLimit > 0 {
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
+	}
+	if spec.EngineWorkers > 0 {
+		opts = append(opts, sim.WithEngineWorkers(spec.EngineWorkers))
 	}
 	nw := sim.NewNetwork(simNodes, opts...)
 	defer nw.Close()
