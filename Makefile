@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench ci experiments experiments-quick figures examples clean
+.PHONY: all build test test-short race cover bench ci mem-smoke linkcheck experiments experiments-quick figures examples clean
 
 all: build test
 
@@ -17,6 +17,15 @@ ci:
 	$(GO) test -run '^$$' -bench ByzStepRound -benchtime 1x .
 	$(GO) test -run '^$$' -bench CrashStepRound -benchtime 1x .
 	$(GO) run ./cmd/campaign -algo crash -n 64 -execs 50 -seed 1
+	$(GO) run ./cmd/linkcheck
+
+# The CI mem-smoke job: whole-run crash at n=2^16 under GOMEMLIMIT with
+# a live-heap ceiling assert (see docs/MEMORY.md).
+mem-smoke:
+	RENAMING_MEMSMOKE=1 GOMEMLIMIT=6GiB $(GO) test -run TestCrashMemorySmoke -v -timeout 20m .
+
+linkcheck:
+	$(GO) run ./cmd/linkcheck
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,131 @@
+package renaming_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"renaming"
+)
+
+// heapWatcher samples the live heap every few milliseconds while a
+// whole-run benchmark executes, so the reported peak reflects the
+// high-water mark mid-run (slabs at their fullest, committees at their
+// largest) rather than the post-termination residue.
+type heapWatcher struct {
+	peak atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func watchHeap() *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		var ms runtime.MemStats
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > w.peak.Load() {
+				w.peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	return w
+}
+
+// PeakMB stops the watcher and returns the peak sampled live heap.
+func (w *heapWatcher) PeakMB() float64 {
+	close(w.stop)
+	<-w.done
+	return float64(w.peak.Load()) / (1 << 20)
+}
+
+// BenchmarkCrashMemoryFootprint measures a whole crash-path execution —
+// construction through termination — at a scale where per-node arrays
+// would dominate, reporting the peak live heap alongside the allocation
+// counts. This is the `make bench` memory row: BENCH_crash.json records
+// peakHeap-MB and B/op per run, so a regression that reintroduces O(n)
+// per-round allocations (per-node inbox slots, materialized traces)
+// shows up as a step in the ledger. See docs/MEMORY.md for the scaling
+// model the numbers should follow.
+func BenchmarkCrashMemoryFootprint(b *testing.B) {
+	for _, n := range []int{16384, 65536} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var peak float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				w := watchHeap()
+				res, err := renaming.RunCrash(n, renaming.CrashSpec{
+					Seed:           int64(n),
+					CommitteeScale: 0.02,
+					Profile:        true,
+					Fault: renaming.FaultSpec{
+						Kind: renaming.FaultCommitteeKiller, Budget: 64, MidSend: true,
+					},
+				})
+				if p := w.PeakMB(); p > peak {
+					peak = p
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Unique {
+					b.Fatal("run did not produce unique names")
+				}
+			}
+			b.ReportMetric(peak, "peakHeap-MB")
+		})
+	}
+}
+
+// BenchmarkByzMemoryFootprint is the Byzantine-path memory row: a whole
+// execution with split-world attackers at E5n scale, peak live heap and
+// allocations per run into BENCH_byz.json.
+func BenchmarkByzMemoryFootprint(b *testing.B) {
+	for _, n := range []int{4096, 16384} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			byz, err := renaming.AdversaryLinks(n, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			behaviors := make(map[int]renaming.Behavior, len(byz))
+			for _, link := range byz {
+				behaviors[link] = renaming.BehaviorSplitWorld
+			}
+			var peak float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				w := watchHeap()
+				res, err := renaming.RunByzantine(n, renaming.ByzSpec{
+					Seed:      int64(n),
+					PoolProb:  16.0 / float64(n),
+					Byzantine: behaviors,
+					Profile:   true,
+				})
+				if p := w.PeakMB(); p > peak {
+					peak = p
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res == nil {
+					b.Fatal("nil result")
+				}
+			}
+			b.ReportMetric(peak, "peakHeap-MB")
+		})
+	}
+}

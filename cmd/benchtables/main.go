@@ -14,6 +14,7 @@
 //	benchtables                 # run everything at full scale
 //	benchtables -quick          # run everything at reduced scale
 //	benchtables -full           # also run the 16384/32768-node points
+//	benchtables -huge           # also run the million-node tier (implies -full)
 //	benchtables -experiment e3  # run a single experiment by id
 //	benchtables -workers 8      # fan sweep points across 8 workers
 //	benchtables -out run.jsonl  # telemetry artifact path ("" disables)
@@ -47,6 +48,7 @@ func main() {
 func run() error {
 	quick := flag.Bool("quick", false, "reduced sweep sizes (seconds instead of minutes)")
 	full := flag.Bool("full", false, "unlock the 16384/32768-node scaling points (minutes; ignored with -quick)")
+	huge := flag.Bool("huge", false, "unlock the million-node tier on top of -full (implies -full; tens of minutes, ~12 GB peak heap; see docs/MEMORY.md)")
 	experiment := flag.String("experiment", "", "run a single experiment id (e1 e2 e3 e3n e4 e5 e5n e6 e7 e8 e8c a1 a2 a3)")
 	markdown := flag.Bool("markdown", false, "render tables as Markdown (for EXPERIMENTS.md)")
 	svgDir := flag.String("svgdir", "", "also write each experiment's figures as SVG into this directory")
@@ -66,7 +68,8 @@ func run() error {
 
 	cfg := experiments.Config{
 		Quick:     *quick,
-		Full:      *full,
+		Full:      *full || *huge,
+		Huge:      *huge,
 		Workers:   *workers,
 		SweepSeed: *seed,
 	}

@@ -21,6 +21,7 @@ import (
 
 	"renaming"
 	"renaming/internal/campaign"
+	"renaming/internal/profiling"
 	"renaming/internal/runner"
 )
 
@@ -48,8 +49,20 @@ func run() error {
 		verbose  = flag.Bool("v", false, "print the per-link renaming")
 		outPath  = flag.String("out", "", "append the run as one JSONL telemetry record (docs/OBSERVABILITY.md)")
 		strategy = flag.String("strategy", "", "campaign strategy generator (early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent), or replay:<artifact.json>; empty keeps -fault/-behavior semantics")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this path (docs/MEMORY.md walks through one)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "renamesim: profiling:", err)
+		}
+	}()
 
 	if path, ok := strings.CutPrefix(*strategy, "replay:"); ok {
 		return replayArtifact(path, *asJSON)

@@ -1,9 +1,3 @@
-// Package bitvec provides the length-N bit vectors ("identity lists") the
-// Byzantine-resilient algorithm manipulates: committee member v keeps
-// L_v ∈ {0,1}^N with L_v[i] = 1 iff it received identity i, and needs rank
-// queries (new identity = number of ones before a position), range
-// popcounts, and per-segment fingerprint input. Positions are 1-based to
-// match the paper's namespace [N] = {1, …, N}.
 package bitvec
 
 import (

@@ -1,0 +1,105 @@
+package bitvec
+
+import "fmt"
+
+// Writer packs a sequence of fixed-width unsigned fields at bit
+// granularity, little-endian within and across 64-bit words — the
+// encoder half of the wire codecs that turn multi-word payload structs
+// into a couple of machine words (see internal/core's packed payloads).
+//
+// The zero Writer is empty and ready for use. Words are appended to the
+// scratch slice passed to NewWriter, so a caller that hands in a
+// stack-backed slice (e.g. arr[:0] over a local [2]uint64) encodes
+// without allocating.
+type Writer struct {
+	words []uint64
+	bits  int
+}
+
+// NewWriter returns a Writer appending to scratch (truncated to length
+// zero). Pass nil to let the Writer allocate as it grows.
+func NewWriter(scratch []uint64) Writer {
+	return Writer{words: scratch[:0]}
+}
+
+// Append packs the low width bits of value after the fields already
+// written. Width must be in [0, 64] and value must fit: packing is for
+// known-domain fields, so an oversized value is a caller bug, not data.
+func (w *Writer) Append(value uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitvec: field width %d out of range [0,64]", width))
+	}
+	if width < 64 && value>>uint(width) != 0 {
+		panic(fmt.Sprintf("bitvec: value %d does not fit in %d bits", value, width))
+	}
+	if width == 0 {
+		return
+	}
+	off := uint(w.bits % 64)
+	if off == 0 {
+		w.words = append(w.words, value)
+	} else {
+		w.words[len(w.words)-1] |= value << off
+		if int(off)+width > 64 {
+			w.words = append(w.words, value>>(64-off))
+		}
+	}
+	w.bits += width
+}
+
+// AppendBool packs a single bit.
+func (w *Writer) AppendBool(b bool) {
+	if b {
+		w.Append(1, 1)
+	} else {
+		w.Append(0, 1)
+	}
+}
+
+// Bits returns the number of bits written so far.
+func (w *Writer) Bits() int { return w.bits }
+
+// Words returns the packed words. The slice aliases the Writer's
+// buffer; the final word's unused high bits are zero.
+func (w *Writer) Words() []uint64 { return w.words }
+
+// Reader unpacks fields written by Writer, in the same order and with
+// the same widths. The zero Reader reads from an empty buffer.
+type Reader struct {
+	words []uint64
+	bits  int
+}
+
+// NewReader returns a Reader over packed words.
+func NewReader(words []uint64) Reader {
+	return Reader{words: words}
+}
+
+// Take unpacks the next width bits as an unsigned value. Width must be
+// in [0, 64]; reading past the packed words panics (an index error),
+// which — like Append's range panics — turns codec drift into a loud
+// failure instead of silent corruption.
+func (r *Reader) Take(width int) uint64 {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitvec: field width %d out of range [0,64]", width))
+	}
+	if width == 0 {
+		return 0
+	}
+	idx, off := r.bits/64, uint(r.bits%64)
+	v := r.words[idx] >> off
+	if int(off)+width > 64 {
+		v |= r.words[idx+1] << (64 - off)
+	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	r.bits += width
+	return v
+}
+
+// TakeBool unpacks a single bit.
+func (r *Reader) TakeBool() bool { return r.Take(1) != 0 }
+
+// Bits returns the number of bits consumed so far.
+func (r *Reader) Bits() int { return r.bits }

@@ -1,0 +1,160 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCodecRoundTrip is the property test behind every packed payload:
+// for random field sequences, encode→decode is the identity, the bit
+// count is the sum of widths, and the word count is the minimum.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		nFields := 1 + rng.Intn(8)
+		widths := make([]int, nFields)
+		values := make([]uint64, nFields)
+		total := 0
+		for i := range widths {
+			widths[i] = rng.Intn(65)
+			if widths[i] == 64 {
+				values[i] = rng.Uint64()
+			} else {
+				values[i] = rng.Uint64() & (1<<uint(widths[i]) - 1)
+			}
+			total += widths[i]
+		}
+		w := NewWriter(nil)
+		for i := range widths {
+			w.Append(values[i], widths[i])
+		}
+		if w.Bits() != total {
+			t.Fatalf("trial %d: wrote %d bits, want %d", trial, w.Bits(), total)
+		}
+		if got, want := len(w.Words()), (total+63)/64; got != want {
+			t.Fatalf("trial %d: %d words for %d bits, want %d", trial, got, total, want)
+		}
+		r := NewReader(w.Words())
+		for i := range widths {
+			if got := r.Take(widths[i]); got != values[i] {
+				t.Fatalf("trial %d field %d (width %d): got %#x want %#x",
+					trial, i, widths[i], got, values[i])
+			}
+		}
+		if r.Bits() != total {
+			t.Fatalf("trial %d: read %d bits, want %d", trial, r.Bits(), total)
+		}
+	}
+}
+
+// TestCodecKnownLayout pins the little-endian bit layout so encoded
+// words are a stable wire format, not an implementation accident.
+func TestCodecKnownLayout(t *testing.T) {
+	var arr [2]uint64
+	w := NewWriter(arr[:0])
+	w.Append(0b101, 3) // bits 0..2
+	w.Append(0xff, 8)  // bits 3..10
+	w.AppendBool(true) // bit 11
+	w.Append(1, 60)    // bits 12..71, crosses the word boundary
+	if w.Bits() != 72 {
+		t.Fatalf("bits = %d, want 72", w.Bits())
+	}
+	words := w.Words()
+	if want := uint64(0b101 | 0xff<<3 | 1<<11 | 1<<12); words[0] != want {
+		t.Fatalf("word 0 = %#x, want %#x", words[0], want)
+	}
+	if words[1] != 0 {
+		t.Fatalf("word 1 = %#x, want 0 (value 1 fits below the boundary)", words[1])
+	}
+
+	w = NewWriter(arr[:0])
+	w.Append(1<<59|1, 60) // bit 59 lands in word 0, spill after next field
+	w.Append(0x1f, 10)    // bits 60..69: splits 4/6 across the boundary
+	words = w.Words()
+	if want := uint64(1<<59 | 1 | 0xf<<60); words[0] != want {
+		t.Fatalf("split word 0 = %#x, want %#x", words[0], want)
+	}
+	if want := uint64(0x1f >> 4); words[1] != want {
+		t.Fatalf("split word 1 = %#x, want %#x", words[1], want)
+	}
+	r := NewReader(words)
+	if got := r.Take(60); got != 1<<59|1 {
+		t.Fatalf("take(60) = %#x", got)
+	}
+	if got := r.Take(10); got != 0x1f {
+		t.Fatalf("take(10) = %#x", got)
+	}
+}
+
+// TestCodecZeroWidthAndBool covers the degenerate widths the payload
+// codecs rely on (flag bits, width-0 fields for empty domains).
+func TestCodecZeroWidthAndBool(t *testing.T) {
+	w := NewWriter(nil)
+	w.Append(0, 0)
+	w.AppendBool(false)
+	w.Append(0, 0)
+	w.AppendBool(true)
+	if w.Bits() != 2 {
+		t.Fatalf("bits = %d, want 2", w.Bits())
+	}
+	r := NewReader(w.Words())
+	if r.Take(0) != 0 {
+		t.Fatal("take(0) != 0")
+	}
+	if r.TakeBool() {
+		t.Fatal("first bool should be false")
+	}
+	if !r.TakeBool() {
+		t.Fatal("second bool should be true")
+	}
+}
+
+// TestCodecPanics locks the loud-failure contract: oversized values and
+// out-of-range widths panic instead of truncating.
+func TestCodecPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("oversized value", func() {
+		w := NewWriter(nil)
+		w.Append(4, 2)
+	})
+	mustPanic("width 65", func() {
+		w := NewWriter(nil)
+		w.Append(0, 65)
+	})
+	mustPanic("negative width", func() {
+		r := NewReader([]uint64{0})
+		r.Take(-1)
+	})
+	mustPanic("read past end", func() {
+		r := NewReader(nil)
+		r.Take(1)
+	})
+}
+
+// BenchmarkCodecEncode measures one packed-status-shaped encode. With a
+// persistent scratch array — how the payload codecs hold theirs, as a
+// struct field reused across encodes — it must not allocate.
+func BenchmarkCodecEncode(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	var arr [2]uint64
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(arr[:0])
+		w.Append(uint64(i)&0xffff, 17)
+		w.Append(uint64(i)&0x3ff, 11)
+		w.Append(uint64(i)&0x3ff, 11)
+		w.Append(uint64(i)&0xf, 5)
+		w.Append(uint64(i)&0xf, 5)
+		w.AppendBool(i&1 == 0)
+		sink += w.Words()[0]
+	}
+	_ = sink
+}

@@ -1,0 +1,29 @@
+// Package bitvec provides the two bit-level structures the algorithms
+// need: length-N bit vectors and a little-endian bit-packing codec.
+//
+// # Identity lists (Vector)
+//
+// The Byzantine-resilient algorithm manipulates length-N "identity
+// lists": committee member v keeps L_v ∈ {0,1}^N with L_v[i] = 1 iff it
+// received identity i, and needs rank queries (new identity = number of
+// ones before a position), range popcounts, and per-segment fingerprint
+// input. Positions are 1-based to match the paper's namespace
+// [N] = {1, …, N}.
+//
+// # Wire codec (Writer / Reader)
+//
+// Writer and Reader bit-pack wire payloads for the high-volume message
+// kinds (status, response, NEW): fields are appended at explicit bit
+// widths into little-endian uint64 words and read back in the same
+// order. The codec is allocation-free when the caller supplies
+// persistent scratch (NewWriter(scratch[:0]) with scratch held in a
+// struct field — a loop-local array escapes), and it panics on
+// programmer error (oversized value, width outside [0, 64], read past
+// the end) rather than returning errors: codecs run on the per-message
+// hot path and their domains are precomputed per run.
+//
+// Packing is an implementation concern only — billed Bits() of a packed
+// payload must equal the struct it replaces, so paper accounting and
+// golden fingerprints are unchanged by codec adoption (the codec
+// round-trip tests in internal/core pin exactly this).
+package bitvec

@@ -55,9 +55,11 @@ type ByzNode struct {
 
 	// Committee view, identical across correct nodes (G ⊆ ∩Cv with the
 	// all-or-nothing announcement simplification documented in DESIGN.md).
+	// Membership tests binary-search memberLinks (sorted ascending): a
+	// per-node Θ(n) bool set would make the whole run Θ(n²) memory —
+	// ~4 GiB at n = 65536 — for a set that holds O(polylog n) links.
 	committee   []member
 	memberLinks []int
-	memberSet   []bool // memberSet[link] mirrors memberLinks, sized n
 
 	// Committee-member state.
 	list      *bitvec.Vector
@@ -106,6 +108,12 @@ type ByzNode struct {
 	// per-broadcast heap allocation.
 	boxed    sim.Payload
 	boxedKey SubPayload
+
+	// newBuf is the distribution arena: one PackedNew per known identity,
+	// sent by pointer so the |knownLink| NEW messages of a committee
+	// member share the arena instead of boxing a struct each (see
+	// byzCodec).
+	newBuf []PackedNew
 }
 
 var _ sim.Node = (*ByzNode)(nil)
@@ -246,10 +254,6 @@ func (node *ByzNode) stepAggregate(inbox []sim.Message) sim.Outbox {
 		node.memberLinks = append(node.memberLinks, m.link)
 	}
 	sort.Ints(node.memberLinks)
-	node.memberSet = make([]bool, node.n)
-	for _, link := range node.memberLinks {
-		node.memberSet[link] = true
-	}
 
 	if node.elected {
 		node.phase = phLoop
@@ -498,6 +502,13 @@ func (node *ByzNode) wrapSub(msgs []consensus.Msg) {
 // the rank in the agreed list if the identity's segment is clean, an
 // abstention otherwise.
 func (node *ByzNode) distribute() {
+	codec := newByzCodec(node.n, node.cfg.N)
+	// Pre-size the arena: pointers into it must stay valid, so it cannot
+	// grow while messages reference it.
+	if cap(node.newBuf) < len(node.knownLink) {
+		node.newBuf = make([]PackedNew, 0, len(node.knownLink))
+	}
+	buf := node.newBuf[:0]
 	for id, link := range node.knownLink {
 		payload := NewPayload{SizeSmallN: node.n}
 		if node.list.Get(id) && !node.inDirty(id) {
@@ -505,8 +516,10 @@ func (node *ByzNode) distribute() {
 		} else {
 			payload.Null = true
 		}
-		node.outBuf = append(node.outBuf, sim.Message{From: node.idx, To: link, Payload: payload})
+		buf = append(buf, codec.encodeNew(payload))
+		node.outBuf = append(node.outBuf, sim.Message{From: node.idx, To: link, Payload: &buf[len(buf)-1]})
 	}
+	node.newBuf = buf
 }
 
 func (node *ByzNode) inDirty(id int) bool {
@@ -519,11 +532,18 @@ func (node *ByzNode) inDirty(id int) bool {
 }
 
 // absorbNew accumulates NEW messages from committee members (one per
-// sender; only committee links count).
+// sender; only committee links count). Correct members send the packed
+// form; Byzantine strategies may fabricate unpacked NewPayloads, so
+// both are accepted.
 func (node *ByzNode) absorbNew(inbox []sim.Message) {
 	for _, msg := range inbox {
-		p, ok := msg.Payload.(NewPayload)
-		if !ok {
+		var p NewPayload
+		switch v := msg.Payload.(type) {
+		case *PackedNew:
+			newByzCodec(node.n, node.cfg.N).decodeNew(v, &p)
+		case NewPayload:
+			p = v
+		default:
 			continue
 		}
 		if !node.isMemberLink(msg.From) {
@@ -538,7 +558,8 @@ func (node *ByzNode) absorbNew(inbox []sim.Message) {
 }
 
 func (node *ByzNode) isMemberLink(link int) bool {
-	return link >= 0 && link < len(node.memberSet) && node.memberSet[link]
+	i := sort.SearchInts(node.memberLinks, link)
+	return i < len(node.memberLinks) && node.memberLinks[i] == link
 }
 
 // tryDecide decides once a strong quorum of committee members responded:

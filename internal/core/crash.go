@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"renaming/internal/interval"
@@ -111,7 +110,12 @@ type CrashNode struct {
 	id  int // original identity in [1, N]
 	n   int
 	cfg CrashConfig
-	rng *rand.Rand
+	// rng replays the node's private randomness stream lazily: the crash
+	// algorithm draws only at activation and on committee wipes /
+	// p-adoptions, so 16 bytes of (seed, counter) state replace the ~5 KiB
+	// resident generator a *rand.Rand would pin per node — the difference
+	// between ~5 GiB and ~16 MiB of generator state at n = 2^20.
+	rng sim.LazyRand
 
 	iv          interval.Interval
 	p           int
@@ -132,15 +136,23 @@ type CrashNode struct {
 	// round r is copied/delivered within round r and read by recipients
 	// in round r+1, while the owner rewrites it no earlier than round
 	// r+3 (the next occurrence of the same schedule slot).
-	outBuf    sim.Outbox      // outbox reused across every round
-	statusBox StatusPayload   // the one status box multicast each phase
+	outBuf    sim.Outbox    // outbox reused across every round
+	statusBox StatusPayload // the one status box multicast each phase
 	respBuf   []ResponsePayload
-	statuses  []statusMsg     // committeeAction: collected status pointers
-	groups    []ivGroup       // committeeAction: distinct intervals
-	groupIdx  []int32         // committeeAction: per status → group index
-	idBuf     []int           // committeeAction: per-group sorted ID buckets
-	groupOf   map[interval.Interval]int32
-	botAcc    map[interval.Interval]int
+	statuses  []statusMsg // committeeAction: collected status pointers
+
+	// codec and the packed arenas mirror statusBox/respBuf in the
+	// bit-packed wire representation (see crashCodec): the same one-round
+	// slack contract, a quarter the bytes per in-flight payload.
+	codec           crashCodec
+	packedStatusBox PackedStatus
+	packedRespBuf   []PackedResponse
+	statusDec       []StatusPayload // committeeAction: decoded packed statuses
+	groups          []ivGroup       // committeeAction: distinct intervals
+	groupIdx        []int32         // committeeAction: per status → group index
+	idBuf           []int           // committeeAction: per-group sorted ID buckets
+	groupOf         map[interval.Interval]int32
+	botAcc          map[interval.Interval]int
 }
 
 var _ sim.Node = (*CrashNode)(nil)
@@ -156,9 +168,10 @@ func NewCrashNode(cfg CrashConfig, idx int) *CrashNode {
 		id:     cfg.IDs[idx],
 		n:      n,
 		cfg:    cfg,
-		rng:    sim.NewRand(cfg.Seed, 0x6372617368<<16|uint64(idx)), // "crash" stream
+		rng:    sim.NewLazyRand(cfg.Seed, 0x6372617368<<16|uint64(idx)), // "crash" stream
 		iv:     interval.Full(n),
 		phases: cfg.Phases(),
+		codec:  newCrashCodec(cfg),
 	}
 	if node.phases == 0 {
 		// n == 1: the interval [1,1] is already a unit; nothing to do.
@@ -249,14 +262,23 @@ func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 		}
 		// One status box per phase, shared by every copy of the
 		// multicast; recipients read it next round, long before the
-		// next rewrite two rounds later.
-		node.statusBox = StatusPayload{
+		// next rewrite two rounds later. The box is bit-packed when the
+		// codec's two-word layout fits the namespace.
+		status := StatusPayload{
 			ID: node.id, I: node.iv, D: node.d, P: node.p,
 			SizeN: node.cfg.N, SizeSmallN: node.n,
 		}
+		var payload sim.Payload
+		if node.codec.packed {
+			node.packedStatusBox = node.codec.encodeStatus(status)
+			payload = &node.packedStatusBox
+		} else {
+			node.statusBox = status
+			payload = &node.statusBox
+		}
 		out := node.outBuf[:0]
 		for _, link := range node.committeeLinks {
-			out = append(out, sim.Message{From: node.idx, To: link, Payload: &node.statusBox})
+			out = append(out, sim.Message{From: node.idx, To: link, Payload: payload})
 		}
 		node.outBuf = out
 		return out
@@ -308,11 +330,23 @@ type ivGroup struct {
 // grouped.
 func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 	statuses := node.statuses[:0]
+	// Packed statuses are decoded into a pre-sized arena so the pointers
+	// collected into statuses stay valid (no growth reallocations).
+	if cap(node.statusDec) < len(inbox) {
+		node.statusDec = make([]StatusPayload, 0, len(inbox))
+	}
+	dec := node.statusDec[:0]
 	for _, msg := range inbox {
-		if s, ok := msg.Payload.(*StatusPayload); ok {
+		switch s := msg.Payload.(type) {
+		case *PackedStatus:
+			dec = dec[:len(dec)+1]
+			node.codec.decodeStatus(s, &dec[len(dec)-1])
+			statuses = append(statuses, statusMsg{link: msg.From, s: &dec[len(dec)-1]})
+		case *StatusPayload:
 			statuses = append(statuses, statusMsg{link: msg.From, s: s})
 		}
 	}
+	node.statusDec = dec
 	node.statuses = statuses
 	if len(statuses) == 0 {
 		return nil
@@ -442,18 +476,27 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 	}
 
 	// Emit one response per status, in inbox order, into the reused
-	// response arena; recipients read the boxes next round, before the
-	// next committee round rewrites them.
-	if cap(node.respBuf) < len(statuses) {
-		node.respBuf = make([]ResponsePayload, len(statuses))
+	// response arena (packed when the codec layout fits); recipients read
+	// the boxes next round, before the next committee round rewrites them.
+	usePacked := node.codec.packed
+	var respBuf []ResponsePayload
+	var packedBuf []PackedResponse
+	if usePacked {
+		if cap(node.packedRespBuf) < len(statuses) {
+			node.packedRespBuf = make([]PackedResponse, len(statuses))
+		}
+		packedBuf = node.packedRespBuf[:len(statuses)]
+	} else {
+		if cap(node.respBuf) < len(statuses) {
+			node.respBuf = make([]ResponsePayload, len(statuses))
+		}
+		respBuf = node.respBuf[:len(statuses)]
 	}
-	respBuf := node.respBuf[:len(statuses)]
 	out := node.outBuf[:0]
 	early := node.cfg.EarlyStop && allUnit
 	for j, m := range statuses {
 		w := m.s
-		resp := &respBuf[j]
-		*resp = ResponsePayload{ID: w.ID, SizeN: node.cfg.N, SizeSmallN: node.n, Done: early}
+		resp := ResponsePayload{ID: w.ID, SizeN: node.cfg.N, SizeSmallN: node.n, Done: early}
 		switch {
 		case w.D != minDepth:
 			// Deeper than the frontier: echo unchanged (Figure 2 line 11).
@@ -481,9 +524,21 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 			}
 		}
 		resp.P = node.p
-		out = append(out, sim.Message{From: node.idx, To: m.link, Payload: resp})
+		var payload sim.Payload
+		if usePacked {
+			packedBuf[j] = node.codec.encodeResponse(resp)
+			payload = &packedBuf[j]
+		} else {
+			respBuf[j] = resp
+			payload = &respBuf[j]
+		}
+		out = append(out, sim.Message{From: node.idx, To: m.link, Payload: payload})
 	}
-	node.respBuf = respBuf
+	if usePacked {
+		node.packedRespBuf = packedBuf
+	} else {
+		node.respBuf = respBuf
+	}
 	node.outBuf = out
 	return out
 }
@@ -499,16 +554,23 @@ func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
 	// earliest-arrival tie-breaking — tracked directly, along with the
 	// maximum received p and the early-stop flag, without materialising
 	// or reordering a responses slice.
-	var best *ResponsePayload
+	var best ResponsePayload
+	haveBest := false
 	maxP := node.p
 	sawDone := false
 	for _, msg := range inbox {
-		r, ok := msg.Payload.(*ResponsePayload)
-		if !ok {
+		var r ResponsePayload
+		switch p := msg.Payload.(type) {
+		case *PackedResponse:
+			node.codec.decodeResponse(p, &r)
+		case *ResponsePayload:
+			r = *p
+		default:
 			continue
 		}
-		if best == nil || r.D > best.D || (r.D == best.D && interval.Less(r.I, best.I)) {
+		if !haveBest || r.D > best.D || (r.D == best.D && interval.Less(r.I, best.I)) {
 			best = r
+			haveBest = true
 		}
 		if r.P > maxP {
 			maxP = r.P
@@ -518,7 +580,7 @@ func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
 		}
 	}
 
-	if best == nil {
+	if !haveBest {
 		// Figure 3 lines 1–3: the whole committee crashed this phase.
 		if !node.cfg.DisableReelectionDoubling {
 			node.p++

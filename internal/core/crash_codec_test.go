@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"renaming/internal/interval"
+)
+
+// randomCrashCfg draws a CrashConfig shell (sizes only) for codec tests.
+func randomCrashCfg(rng *rand.Rand) CrashConfig {
+	n := 1 << (1 + rng.Intn(16)) // 2 .. 65536
+	return CrashConfig{N: n * (1 + rng.Intn(8)), IDs: make([]int, n)}
+}
+
+// TestCrashCodecRoundTrip is the codec-vs-struct property test: for
+// random configurations and random in-domain payloads, encode→decode is
+// the identity and the packed payload bills exactly the same Bits() as
+// the struct it replaces — the invariant that keeps golden fingerprints
+// byte-identical under packing.
+func TestCrashCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		cfg := randomCrashCfg(rng)
+		n := len(cfg.IDs)
+		c := newCrashCodec(cfg)
+		if !c.packed {
+			t.Fatalf("trial %d: codec unexpectedly unpacked for N=%d n=%d", trial, cfg.N, n)
+		}
+		lo := 1 + rng.Intn(n)
+		hi := lo + rng.Intn(n-lo+1)
+		s := StatusPayload{
+			ID:    1 + rng.Intn(cfg.N),
+			I:     interval.New(lo, hi),
+			D:     rng.Intn(cfg.TotalRounds() + 1),
+			P:     rng.Intn(cfg.TotalRounds() + 1),
+			SizeN: cfg.N, SizeSmallN: n,
+		}
+		ps := c.encodeStatus(s)
+		if ps.Bits() != s.Bits() {
+			t.Fatalf("trial %d: packed status bills %d bits, struct bills %d", trial, ps.Bits(), s.Bits())
+		}
+		var back StatusPayload
+		c.decodeStatus(&ps, &back)
+		if back != s {
+			t.Fatalf("trial %d: status round-trip %+v != %+v", trial, back, s)
+		}
+
+		r := ResponsePayload{
+			ID: s.ID, I: s.I, D: s.D, P: s.P, Done: rng.Intn(2) == 0,
+			SizeN: cfg.N, SizeSmallN: n,
+		}
+		pr := c.encodeResponse(r)
+		if pr.Bits() != r.Bits() {
+			t.Fatalf("trial %d: packed response bills %d bits, struct bills %d", trial, pr.Bits(), r.Bits())
+		}
+		var rback ResponsePayload
+		c.decodeResponse(&pr, &rback)
+		if rback != r {
+			t.Fatalf("trial %d: response round-trip %+v != %+v", trial, rback, r)
+		}
+	}
+}
+
+// TestCrashCodecKinds pins the wire kinds: metrics bucket packed and
+// unpacked payloads identically.
+func TestCrashCodecKinds(t *testing.T) {
+	if (PackedStatus{}).Kind() != (StatusPayload{}).Kind() {
+		t.Fatal("packed status kind differs from struct kind")
+	}
+	if (PackedResponse{}).Kind() != (ResponsePayload{}).Kind() {
+		t.Fatal("packed response kind differs from struct kind")
+	}
+	if (PackedNew{}).Kind() != (NewPayload{}).Kind() {
+		t.Fatal("packed new kind differs from struct kind")
+	}
+}
+
+// TestByzCodecRoundTrip checks the NEW codec against the struct: the
+// round-trip is the identity (including identities above n, which
+// Byzantine-inflated ranks can produce) and billing matches the struct.
+func TestByzCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 << (1 + rng.Intn(16))
+		bigN := n * (1 + rng.Intn(8))
+		c := newByzCodec(n, bigN)
+		p := NewPayload{SizeSmallN: n}
+		if rng.Intn(4) == 0 {
+			p.Null = true
+		} else {
+			p.NewID = 1 + rng.Intn(bigN)
+		}
+		pn := c.encodeNew(p)
+		if pn.Bits() != p.Bits() {
+			t.Fatalf("trial %d: packed new bills %d bits, struct bills %d", trial, pn.Bits(), p.Bits())
+		}
+		var back NewPayload
+		c.decodeNew(&pn, &back)
+		if back != p {
+			t.Fatalf("trial %d: new round-trip %+v != %+v", trial, back, p)
+		}
+	}
+}
+
+// FuzzCrashCodecRoundTrip fuzzes the response codec (the wider of the
+// two layouts) over configuration and field bytes. Any in-domain
+// payload that fails to round-trip, or bills differently packed, fails.
+func FuzzCrashCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint16(7), uint16(3), uint16(9), uint8(1), uint8(1), false)
+	f.Add(uint8(16), uint8(7), uint16(65535), uint16(1), uint16(65535), uint8(200), uint8(0), true)
+	f.Add(uint8(1), uint8(0), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, logn, nMul uint8, id, lo, span uint16, d, p uint8, done bool) {
+		n := 1 << (1 + int(logn)%16)
+		cfg := CrashConfig{N: n * (1 + int(nMul)%8), IDs: make([]int, n)}
+		c := newCrashCodec(cfg)
+		if !c.packed {
+			t.Skip("layout wider than two words")
+		}
+		loV := 1 + int(lo)%n
+		hiV := loV + int(span)%(n-loV+1)
+		r := ResponsePayload{
+			ID:    1 + int(id)%cfg.N,
+			I:     interval.New(loV, hiV),
+			D:     int(d) % (cfg.TotalRounds() + 1),
+			P:     int(p) % (cfg.TotalRounds() + 1),
+			Done:  done,
+			SizeN: cfg.N, SizeSmallN: n,
+		}
+		pr := c.encodeResponse(r)
+		if pr.Bits() != r.Bits() {
+			t.Fatalf("packed bills %d, struct bills %d", pr.Bits(), r.Bits())
+		}
+		var back ResponsePayload
+		c.decodeResponse(&pr, &back)
+		if back != r {
+			t.Fatalf("round-trip %+v != %+v", back, r)
+		}
+	})
+}

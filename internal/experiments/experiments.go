@@ -183,15 +183,26 @@ func E2CrashRounds(cfg Config) (*Table, error) {
 		if cfg.Full {
 			sizes = append(sizes, 16384, 32768, 65536)
 		}
+		if cfg.Huge {
+			sizes = append(sizes, 262144, 1048576)
+		}
 	}
 	var points []runner.Point
 	for _, n := range sizes {
 		// Above 4096 the killer budget is capped: the round bound under
 		// test is independent of f, and an uncapped n/4 budget would make
-		// the sweep about adversary bookkeeping rather than scaling.
+		// the sweep about adversary bookkeeping rather than scaling. The
+		// huge tier caps harder still — every committee wipe doubles the
+		// re-election probability, so a 1024-crash budget inflates the
+		// committee until one status round carries ~10⁹ messages (a
+		// ~60 GB slab high-water at n = 2¹⁸, an OOM at 2²⁰); 64 crashes
+		// exercise the same wipe/recovery path at feasible traffic.
 		budget := n / 4
 		if n > 4096 {
 			budget = 1024
+		}
+		if n > 65536 {
+			budget = 64
 		}
 		points = append(points,
 			crashPoint("e2", fmt.Sprintf("killer/n=%d", n), n,
@@ -701,6 +712,9 @@ func E3nCrashMessagesVsN(cfg Config) (*Table, error) {
 	if !cfg.Quick && cfg.Full {
 		oursOnly = []int{4096, 8192, 16384, 32768, 65536}
 	}
+	if !cfg.Quick && cfg.Huge {
+		oursOnly = append(oursOnly, 262144, 1048576)
+	}
 	const f = 8
 	var points []runner.Point
 	for _, n := range sizes {
@@ -787,6 +801,9 @@ func E5nByzantineVsN(cfg Config) (*Table, error) {
 	var oursOnly []int
 	if !cfg.Quick && cfg.Full {
 		oursOnly = []int{1024, 2048, 4096}
+	}
+	if !cfg.Quick && cfg.Huge {
+		oursOnly = append(oursOnly, 16384, 65536)
 	}
 	f := 2
 	seeds := cfg.pick(1, 3)

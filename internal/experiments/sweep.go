@@ -19,6 +19,13 @@ type Config struct {
 	// (minutes of wall-clock; the sharded round engine makes them
 	// feasible at all). Ignored when Quick is set.
 	Full bool
+	// Huge unlocks the million-node tier on top of Full (implies Full;
+	// ~2 h single-core and a ~40 GB working set at n=2^20): E2 and E3n
+	// up to n=1048576 and E5n up to n=65536. The committed -full tables
+	// are unchanged by this flag — huge rows only ever append. The slab
+	// inbox engine and bit-packed payloads make the tier feasible (see
+	// docs/MEMORY.md).
+	Huge bool
 	// Workers caps concurrent sweep points; <=0 means GOMAXPROCS.
 	// Tables are byte-identical at any worker count: every point's seed
 	// is fixed before execution and records flush in point order.

@@ -1,14 +1,3 @@
-// Package runner fans independent, seed-deterministic experiment runs
-// across a worker pool and emits one structured telemetry record per
-// completed point to pluggable sinks (JSONL, CSV, live progress).
-//
-// The pool preserves bit-reproducibility: every point's seed is fixed
-// before any worker starts (explicit per-point seeds, or derived from
-// the sweep seed and the point index), never influenced by scheduling
-// order. Records are delivered to sinks in point order regardless of
-// the worker count, so a sweep artifact is byte-identical at -workers=1
-// and -workers=8 (modulo the wall-clock and allocation fields, which
-// the deterministic sink mode zeroes).
 package runner
 
 import (

@@ -1,0 +1,50 @@
+// Package sim implements the synchronous message-passing substrate the
+// paper's algorithms run on: a fully connected network of n nodes that
+// exchange messages in lockstep rounds, an adaptive crash adversary that
+// can kill nodes even mid-send, and metrics that account messages, bits,
+// and rounds exactly as the paper's complexity statements do.
+//
+// # Round engine
+//
+// Within a round, a persistent pool of workers steps contiguous node
+// shards behind a barrier and routes messages through slab-backed
+// per-node inbox views (a counting sort by sender). Low-traffic rounds
+// adaptively collapse onto the coordinator, where barrier handshakes
+// would cost more than the round's work; heavy rounds fan out across
+// the pool. Either way the observable execution is identical.
+//
+// # Contracts the packages above rely on
+//
+// ToAll billing: a message addressed to ToAll is a broadcast. It is
+// billed as n wire messages (sent-on-the-wire semantics — a crashed
+// recipient still costs the sender, as in the paper's model) but the
+// payload is stored once and every recipient's inbox view references
+// the same Message value. Payload implementations must therefore be
+// read-only after Send.
+//
+// Quiescence: a node implementing Quiescent (or registered through
+// ScheduleQuiescent) vouches that, on rounds where it reports quiescent
+// and its inbox is empty, Step would send nothing and change no state.
+// The engine then skips the node entirely — per-round work is
+// proportional to acted senders and delivered messages, not to n. The
+// contract is one-sided: the engine may still step a quiescent node
+// (e.g. when it has mail), so the vouch must be sound, not tight.
+//
+// Determinism at any worker count: every adversary decision — including
+// stateful mid-send crash filters — is evaluated sequentially on the
+// coordinator, nodes touch only their own state inside Step, and inbox
+// views are delivered sorted by sender. Two runs with equal seeds are
+// bit-identical at -workers=1 and -workers=8; the root package's
+// determinism tests lock golden fingerprints at both.
+//
+// # Memory model
+//
+// Inboxes are views into two alternating per-worker slabs (round parity
+// r&1) with generation stamps deciding view validity, so idle nodes
+// hold no buffers and the engine's footprint tracks messages in flight,
+// not n times the historical maximum. A view delivered in round r is
+// valid during round r only; payload boxes written in round r may be
+// reused no earlier than round r+2. Network.MemStats reports slab
+// footprint; docs/MEMORY.md documents the full lifecycle and the
+// scaling model.
+package sim

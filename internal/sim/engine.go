@@ -25,9 +25,9 @@ import (
 //	         per-shard accumulator (lock-free: shards touch disjoint
 //	         cells);
 //	deliver  every shard turns the counters for *its recipients* into
-//	         exclusive prefix offsets and resizes the reusable inbox
-//	         buffers — a counting sort by sender, exploiting that worker
-//	         w's senders all precede worker w+1's;
+//	         exclusive prefix offsets and carves this round's inbox views
+//	         out of the shard's slab — a counting sort by sender,
+//	         exploiting that worker w's senders all precede worker w+1's;
 //	scatter  every shard writes its surviving messages into the
 //	         recipients' inboxes at the precomputed offsets.
 //
@@ -35,6 +35,16 @@ import (
 // inbox comes out sorted by sender link with per-sender emission order
 // preserved — byte-identical to the previous engine's append-then-stable-
 // sort delivery, at every worker count.
+//
+// Inbox storage is slab-allocated (see inboxSlab): per round and worker,
+// one arena holds every incoming message of the shard's recipients, and
+// the per-recipient tables hold views into it. Two slabs per worker
+// alternate by round parity — round r's views are read during round r+1
+// while round r+1 fills the other slab — and reuse is generation-stamped:
+// a recipient's view is only meaningful when its stamp matches the
+// current fill, so idle recipients are never touched during delivery and
+// their (stale) views are simply never read. docs/MEMORY.md documents
+// the resulting memory model.
 type engine struct {
 	nodes   []Node
 	quiet   []Quiescent         // nodes[i] as Quiescent, nil if not implemented
@@ -51,6 +61,10 @@ type engine struct {
 	rushList  []int // indices with rushing set, ascending (frozen at setup)
 	round     int
 	observer  func(round int, delivered []Message)
+	digest    func(RoundDigest)
+	// digestKinds is the reused per-round kind map passed (by reference)
+	// inside RoundDigest; consumers must not retain it across calls.
+	digestKinds map[string]int64
 
 	// Worker pool. workers is the resolved shard count P; worker 0 is the
 	// coordinator (the StepRound caller), workers 1..P-1 are long-lived
@@ -90,13 +104,28 @@ type engine struct {
 	mergeBuf    []int
 	prevFull    bool // last round ran parallel: acted/outs need a full reset
 
-	// Per-round state, all reused across rounds.
-	inboxes [][]Message // delivered this round, per recipient
-	nextInb [][]Message // being filled for next round
-	outs    []Outbox    // per sender: this round's outbox (nil if idle)
-	acted   []bool      // per sender: stepped this round
-	counts  [][]int32   // per worker × recipient: count, then offset
+	// Per-round state, all reused across rounds. The inbox tables hold
+	// views into the parity-alternating slabs; a view is only meaningful
+	// when its generation stamp matches the round that filled it (see
+	// inboxOf), so entries of idle recipients go stale instead of being
+	// reset.
+	inboxes [][]Message // delivered this round, per recipient (slab views)
+	nextInb [][]Message // being filled for next round (slab views)
+	inbGen  []uint32    // per recipient: fill stamp of inboxes[i]
+	nextGen []uint32    // per recipient: fill stamp of nextInb[i]
+	slabs   [2][]inboxSlab
+	outs    []Outbox  // per sender: this round's outbox (nil if idle)
+	acted   []bool    // per sender: stepped this round
+	counts  [][]int32 // per worker × recipient: count, then offset
 	shards  []metricShard
+
+	// recip lists the recipients with incoming traffic this round,
+	// discovery-ordered, and prevRecip the round before — the delivery
+	// analogue of stepped/prevStepped: coordinator-only rounds reset and
+	// walk only those counter cells instead of scanning all n recipients.
+	recip      []int
+	prevRecip  []int
+	countsFull bool // last round ran parallel: counts[0] needs a full reset
 
 	aliveView   []bool
 	filters     map[int]SendFilter
@@ -124,6 +153,28 @@ const (
 	phScatter
 )
 
+// inboxSlab is one worker's per-parity message arena: each round the
+// deliver phase carves every recipient view of the worker's shard out of
+// a single contiguous buffer, instead of growing (and retaining) one
+// slice per recipient. fills counts refills, for MemStats.
+type inboxSlab struct {
+	buf   []Message
+	fills uint32
+}
+
+// fill returns a buffer of exactly total messages, growing the arena
+// with 25% headroom when capacity is short. The previous contents are
+// garbage by construction: views carved two rounds ago are dead (their
+// round has been fully consumed), and any still-recorded view of them
+// fails its generation check before it can be read.
+func (s *inboxSlab) fill(total int) []Message {
+	if cap(s.buf) < total {
+		s.buf = make([]Message, total+total/4)
+	}
+	s.fills++
+	return s.buf[:total]
+}
+
 func newEngine(nodes []Node) *engine {
 	n := len(nodes)
 	e := &engine{
@@ -136,6 +187,8 @@ func newEngine(nodes []Node) *engine {
 		rushing:   make([]bool, n),
 		inboxes:   make([][]Message, n),
 		nextInb:   make([][]Message, n),
+		inbGen:    make([]uint32, n),
+		nextGen:   make([]uint32, n),
 		outs:      make([]Outbox, n),
 		acted:     make([]bool, n),
 		aliveView: make([]bool, n),
@@ -188,6 +241,9 @@ func (e *engine) finishSetup() {
 	e.counts = make([][]int32, p)
 	for w := range e.counts {
 		e.counts[w] = make([]int32, n)
+	}
+	for par := range e.slabs {
+		e.slabs[par] = make([]inboxSlab, p)
 	}
 	e.shards = make([]metricShard, p)
 	for w := range e.shards {
@@ -328,7 +384,7 @@ func (e *engine) StepRound() {
 	// any stateful mid-send filters it installs) must be consumed in a
 	// deterministic order regardless of the worker count.
 	copy(e.aliveView, e.alive)
-	view := View{Round: e.round, Alive: e.aliveView, Inboxes: e.inboxes, Peek: e.peek}
+	view := View{Round: e.round, Alive: e.aliveView, Inbox: e.inboxOf, Peek: e.peek}
 	clear(e.filters)
 	for _, order := range e.adv.Crashes(view) {
 		if order.Node < 0 || order.Node >= n || !e.alive[order.Node] {
@@ -362,11 +418,17 @@ func (e *engine) StepRound() {
 	e.runPhase(phDeliver)
 	e.runPhase(phScatter)
 	e.foldMetrics()
+	if e.digest != nil {
+		e.emitDigest()
+	}
 
 	if e.observer != nil {
 		e.delivered = e.delivered[:0]
+		gen := uint32(e.round) + 1
 		for i := range e.nextInb {
-			e.delivered = append(e.delivered, e.nextInb[i]...)
+			if e.nextGen[i] == gen {
+				e.delivered = append(e.delivered, e.nextInb[i]...)
+			}
 		}
 		e.observer(e.round, e.delivered)
 	}
@@ -374,17 +436,52 @@ func (e *engine) StepRound() {
 		fn()
 	}
 	if e.active == 1 {
-		// This round's acted senders are the entries the next
-		// coordinator-only round must reset.
+		// This round's acted senders (and traffic recipients) are the
+		// entries the next coordinator-only round must reset.
 		e.stepped, e.prevStepped = e.prevStepped[:0], e.stepped
+		e.recip, e.prevRecip = e.prevRecip[:0], e.recip
 	} else {
-		// A parallel round steps nodes without recording them; force the
-		// next coordinator-only round to do one full reset scan.
+		// A parallel round steps nodes (and dirties counters) without
+		// recording them; force the next coordinator-only round to do one
+		// full reset scan.
 		e.prevFull = true
+		e.countsFull = true
 	}
 	e.inboxes, e.nextInb = e.nextInb, e.inboxes
+	e.inbGen, e.nextGen = e.nextGen, e.inbGen
 	e.round++
 	e.metrics.Rounds = e.round
+}
+
+// inboxOf returns node i's inbox for the current round, or nil when the
+// node received nothing this round: the slab view recorded in inboxes[i]
+// is only meaningful while its generation stamp matches the round that
+// filled it.
+func (e *engine) inboxOf(i int) []Message {
+	if e.inbGen[i] != uint32(e.round) {
+		return nil
+	}
+	return e.inboxes[i]
+}
+
+// emitDigest rolls the just-folded (still fresh) shard accumulators into
+// a RoundDigest for the WithRoundDigest callback. digestKinds is reused
+// every round, so the callback must not retain the map.
+func (e *engine) emitDigest() {
+	if e.digestKinds == nil {
+		e.digestKinds = make(map[string]int64)
+	}
+	clear(e.digestKinds)
+	d := RoundDigest{Round: e.round, PerKind: e.digestKinds}
+	for w := 0; w < e.active; w++ {
+		sh := &e.shards[w]
+		d.Messages += sh.messages
+		d.Bits += sh.bits
+		for k, v := range sh.perKind {
+			e.digestKinds[k] += v
+		}
+	}
+	e.digest(d)
 }
 
 // phaseStep — wave 1: every non-rushing stepping node in the shard steps
@@ -413,11 +510,12 @@ func (e *engine) phaseStep(lo, hi int) {
 			if e.rushing[i] || !e.shouldStep(i) {
 				continue
 			}
-			if len(e.inboxes[i]) == 0 && e.idleVouched(i) {
+			inb := e.inboxOf(i)
+			if len(inb) == 0 && e.idleVouched(i) {
 				continue
 			}
 			e.acted[i] = true
-			e.outs[i] = e.nodes[i].Step(e.round, e.inboxes[i])
+			e.outs[i] = e.nodes[i].Step(e.round, inb)
 			e.stepped = append(e.stepped, i)
 		}
 		return
@@ -428,14 +526,15 @@ func (e *engine) phaseStep(lo, hi int) {
 		if e.rushing[i] || !e.shouldStep(i) {
 			continue
 		}
-		if len(e.inboxes[i]) == 0 && e.idleVouched(i) {
+		inb := e.inboxOf(i)
+		if len(inb) == 0 && e.idleVouched(i) {
 			// The node vouches that this call would be a pure no-op (see
 			// Quiescent); eliding it is observationally identical. acted
 			// stays false, which downstream phases treat as "empty outbox".
 			continue
 		}
 		e.acted[i] = true
-		e.outs[i] = e.nodes[i].Step(e.round, e.inboxes[i])
+		e.outs[i] = e.nodes[i].Step(e.round, inb)
 	}
 }
 
@@ -496,7 +595,7 @@ func (e *engine) stepRushers() {
 		if !e.shouldStep(r) {
 			continue
 		}
-		inbox := e.inboxes[r]
+		inbox := e.inboxOf(r)
 		if preview := e.previews[r]; len(preview) > 0 {
 			// Previews were appended in ascending sender order, so the
 			// combined inbox stays sorted by sender.
@@ -613,31 +712,49 @@ func (e *engine) expandToAll(s int) Outbox {
 // writes are race-free without locks.
 func (e *engine) phaseCount(w, lo, hi int) {
 	counts := e.counts[w]
-	for i := range counts {
-		counts[i] = 0
-	}
 	sh := &e.shards[w]
-	sh.reset()
 	anyFilters := len(e.filters) > 0
 	if e.active == 1 {
-		// Coordinator-only round: walk just the senders that acted.
+		// Coordinator-only round: reset only the counter cells the
+		// previous round dirtied (its traffic recipients — scatter left
+		// its write cursors there), then walk just the senders that
+		// acted, recording this round's recipients as it counts.
+		if e.countsFull {
+			for i := range counts {
+				counts[i] = 0
+			}
+			e.countsFull = false
+		} else {
+			for _, to := range e.prevRecip {
+				counts[to] = 0
+			}
+		}
+		e.recip = e.recip[:0]
+		sh.reset()
 		for _, i := range e.stepped {
-			e.countSender(sh, counts, i, anyFilters)
+			e.countSender(sh, counts, i, anyFilters, true)
 		}
 		return
 	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	sh.reset()
 	for i := lo; i < hi; i++ {
 		if !e.acted[i] {
 			continue
 		}
-		e.countSender(sh, counts, i, anyFilters)
+		e.countSender(sh, counts, i, anyFilters, false)
 	}
 }
 
 // countSender counts one acted sender's surviving messages into counts
 // and the shard accumulator — the phaseCount per-sender body, shared by
-// the sharded scan and the coordinator-only stepped walk.
-func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters bool) {
+// the sharded scan and the coordinator-only stepped walk. With track set
+// (coordinator-only rounds), every recipient is appended to e.recip the
+// first time its counter leaves zero, so the deliver phase can walk just
+// the recipients with traffic.
+func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters, track bool) {
 	out := e.outs[i]
 	if len(out) == 0 {
 		return
@@ -661,8 +778,17 @@ func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters 
 			// Shared broadcast: one entry, n wire messages. Kind/Bits
 			// are evaluated once (payloads are immutable in flight),
 			// and addN accounts exactly as n consecutive adds would.
-			for to := 0; to < n; to++ {
-				counts[to]++
+			if track {
+				for to := 0; to < n; to++ {
+					if counts[to] == 0 {
+						e.recip = append(e.recip, to)
+					}
+					counts[to]++
+				}
+			} else {
+				for to := 0; to < n; to++ {
+					counts[to]++
+				}
 			}
 			sent += int64(n)
 			sh.addN(msg.Payload.Kind(), msg.Payload.Bits(), int64(n), honest, limit)
@@ -670,6 +796,9 @@ func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters 
 		}
 		if msg.To < 0 || msg.To >= n {
 			panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
+		}
+		if track && counts[msg.To] == 0 {
+			e.recip = append(e.recip, msg.To)
 		}
 		counts[msg.To]++
 		sent++
@@ -680,50 +809,61 @@ func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters 
 
 // phaseDeliver turns the per-worker counters for this shard's *recipients*
 // into exclusive prefix offsets — the counting sort's allocation step —
-// and resizes the reusable inbox buffers. Worker w's senders all precede
-// worker w+1's, so offset order is global sender order.
+// and carves this round's inbox views out of the shard's parity slab.
+// Worker w's senders all precede worker w+1's, so within each view the
+// offset order is global sender order; the order of views *within* the
+// slab (recipient discovery order on sparse rounds) is immaterial.
+// Recipients without traffic are never touched: their table entry keeps
+// a stale view that inboxOf's generation check filters out.
 func (e *engine) phaseDeliver(w, lo, hi int) {
+	slab := &e.slabs[e.round&1][w]
+	stamp := uint32(e.round) + 1
 	if e.active == 1 {
-		// Coordinator-only round: every offset is zero (one worker), so
-		// recipients without traffic need no prefix pass — only a reset of
-		// a previously-filled inbox. On sparse rounds this touches two
-		// words per idle recipient instead of writing five.
+		// Coordinator-only round: every recipient with traffic is on the
+		// recip list, and with one worker every in-view offset starts at
+		// zero — resetting the counter to zero doubles as the prefix pass.
 		counts := e.counts[0]
-		for to := lo; to < hi; to++ {
-			total := counts[to]
-			buf := e.nextInb[to]
-			if total == 0 {
-				if len(buf) != 0 {
-					e.nextInb[to] = buf[:0]
-				}
-				continue
-			}
+		var total int
+		for _, to := range e.recip {
+			total += int(counts[to])
+		}
+		buf := slab.fill(total)
+		off := 0
+		for _, to := range e.recip {
+			cnt := int(counts[to])
 			counts[to] = 0
-			e.metrics.PerNodeReceived[to] += int64(total)
-			if cap(buf) < int(total) {
-				buf = make([]Message, total)
-			} else {
-				buf = buf[:total]
-			}
-			e.nextInb[to] = buf
+			e.metrics.PerNodeReceived[to] += int64(cnt)
+			e.nextInb[to] = buf[off : off+cnt : off+cnt]
+			e.nextGen[to] = stamp
+			off += cnt
 		}
 		return
 	}
+	// Pass 1: size the shard's slab without disturbing the counters.
+	var total int
 	for to := lo; to < hi; to++ {
-		var total int32
+		for x := 0; x < e.active; x++ {
+			total += int(e.counts[x][to])
+		}
+	}
+	buf := slab.fill(total)
+	// Pass 2: exclusive prefix offsets per recipient (view-relative) and
+	// view assignment at the running slab offset.
+	off := 0
+	for to := lo; to < hi; to++ {
+		var sum int32
 		for x := 0; x < e.active; x++ {
 			c := e.counts[x][to]
-			e.counts[x][to] = total
-			total += c
+			e.counts[x][to] = sum
+			sum += c
 		}
-		e.metrics.PerNodeReceived[to] += int64(total)
-		buf := e.nextInb[to]
-		if cap(buf) < int(total) {
-			buf = make([]Message, total)
-		} else {
-			buf = buf[:total]
+		if sum == 0 {
+			continue
 		}
-		e.nextInb[to] = buf
+		e.metrics.PerNodeReceived[to] += int64(sum)
+		e.nextInb[to] = buf[off : off+int(sum) : off+int(sum)]
+		e.nextGen[to] = stamp
+		off += int(sum)
 	}
 }
 

@@ -1,21 +1,9 @@
-// Package sim implements the synchronous message-passing substrate the
-// paper's algorithms run on: a fully connected network of n nodes that
-// exchange messages in lockstep rounds, an adaptive crash adversary that
-// can kill nodes even mid-send, and metrics that account messages, bits,
-// and rounds exactly as the paper's complexity statements do.
-//
-// Within a round, a persistent pool of GOMAXPROCS workers steps
-// contiguous node shards behind a barrier and routes messages through
-// reusable per-node inboxes (a counting sort by sender). Determinism is
-// preserved because each node only touches its own state, inboxes are
-// delivered sorted by sender, and every adversary decision — including
-// stateful mid-send crash filters — is evaluated sequentially on the
-// coordinator: results are bit-identical at every worker count.
 package sim
 
 import (
 	"errors"
 	"runtime"
+	"unsafe"
 )
 
 // ErrRoundLimit is returned by Network.Run when the round budget is
@@ -88,6 +76,31 @@ func WithObserver(observer func(round int, delivered []Message)) Option {
 	return func(e *engine) { e.observer = observer }
 }
 
+// RoundDigest is the rolled-up communication summary of one round, as
+// handed to a WithRoundDigest callback: totals only, never per-node
+// arrays, so streaming consumers stay O(1) in n.
+type RoundDigest struct {
+	// Round is the 0-based round the digest describes.
+	Round int
+	// Messages and Bits are the wire totals of the round (all senders,
+	// honest and Byzantine), matching the per-round deltas of
+	// Metrics.Messages and Metrics.Bits.
+	Messages int64
+	Bits     int64
+	// PerKind counts the round's messages by payload kind. The map is
+	// reused between rounds: read it during the callback, do not retain.
+	PerKind map[string]int64
+}
+
+// WithRoundDigest installs a per-round callback invoked with the round's
+// rolled-up communication summary, after metrics are folded. Unlike
+// WithObserver it never materializes the round's delivered messages into
+// one flat slice, so it is the telemetry hook of choice at large n; see
+// docs/MEMORY.md.
+func WithRoundDigest(fn func(RoundDigest)) Option {
+	return func(e *engine) { e.digest = fn }
+}
+
 // WithRoundEnd registers a hook invoked on the coordinator at the end of
 // every round, after delivery and metric folding. Hooks run sequentially
 // in registration order and never concurrently with node steps — the
@@ -127,6 +140,30 @@ func (nw *Network) Close() { nw.engine.close() }
 
 // Metrics exposes the accumulated communication metrics.
 func (nw *Network) Metrics() *Metrics { return nw.metrics }
+
+// EngineMemStats reports the engine's inbox-slab footprint, for memory
+// benchmarks and the docs/MEMORY.md walkthrough.
+type EngineMemStats struct {
+	// InboxSlabBytes is the total capacity, in bytes, of the engine's
+	// message arenas (both parities, all workers).
+	InboxSlabBytes int64
+	// InboxSlabFills counts slab refills across the run — one per
+	// (round, worker-with-traffic) pair.
+	InboxSlabFills int64
+}
+
+// MemStats returns the engine's current inbox-slab footprint.
+func (nw *Network) MemStats() EngineMemStats {
+	var ms EngineMemStats
+	for par := range nw.slabs {
+		for w := range nw.slabs[par] {
+			s := &nw.slabs[par][w]
+			ms.InboxSlabBytes += int64(cap(s.buf)) * int64(unsafe.Sizeof(Message{}))
+			ms.InboxSlabFills += int64(s.fills)
+		}
+	}
+	return ms
+}
 
 // Alive reports whether node i is alive.
 func (nw *Network) Alive(i int) bool { return nw.alive[i] }

@@ -1,6 +1,9 @@
 package sim
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // SplitMix64 advances the SplitMix64 generator state once and returns the
 // next output. It is used to derive statistically independent sub-seeds
@@ -27,4 +30,62 @@ func DeriveSeed(seed int64, label uint64) int64 {
 // another.
 func NewRand(seed int64, label uint64) *rand.Rand {
 	return rand.New(rand.NewSource(DeriveSeed(seed, label)))
+}
+
+// lazySources pools the scratch math/rand sources LazyRand replays its
+// stream on. One source serves any number of LazyRand values: every draw
+// reseeds it from scratch, so no stream state survives between borrows.
+var lazySources = sync.Pool{
+	New: func() any { return rand.NewSource(0) },
+}
+
+// LazyRand is a memory-sparse stand-in for a per-node
+// rand.New(rand.NewSource(DeriveSeed(seed, label))): it produces the
+// bit-identical Float64 stream while holding only the derived seed and a
+// draw counter (16 bytes) instead of the source's ~4.9 KiB
+// lagged-Fibonacci table. At n = 2^20 nodes that retires ~5 GiB of
+// resident generator state.
+//
+// The trade is recompute-on-draw: each Float64 borrows a pooled scratch
+// source, reseeds it, and fast-forwards past the draws already consumed.
+// That costs O(seed init + draws) per call, which is the right trade
+// exactly when draws per node are rare — the crash algorithm draws once
+// at activation and once per committee wipe or p-adoption, so a node
+// makes O(log n) draws over a whole execution.
+//
+// The zero value is invalid; construct with NewLazyRand. Not safe for
+// concurrent use (like rand.Rand), which matches the engine contract
+// that a node's state is only touched by its own Step.
+type LazyRand struct {
+	seed  int64
+	draws uint32
+}
+
+// NewLazyRand returns the lazy equivalent of NewRand(seed, label).
+func NewLazyRand(seed int64, label uint64) LazyRand {
+	return LazyRand{seed: DeriveSeed(seed, label)}
+}
+
+// Float64 returns the next value of the underlying stream, bit-identical
+// to NewRand(seed, label).Float64() at the same draw position — including
+// math/rand's resample-on-1.0 loop, which is why the draw counter tracks
+// raw Int63 outputs rather than returned values.
+func (r *LazyRand) Float64() float64 {
+	src := lazySources.Get().(rand.Source)
+	src.Seed(r.seed)
+	for i := uint32(0); i < r.draws; i++ {
+		src.Int63()
+	}
+	// Replicate rand.(*Rand).Float64 exactly: resample in the (1 in 2^53)
+	// case where rounding lands on 1.0.
+	var f float64
+	for {
+		f = float64(src.Int63()) / (1 << 63)
+		r.draws++
+		if f != 1 {
+			break
+		}
+	}
+	lazySources.Put(src)
+	return f
 }

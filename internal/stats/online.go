@@ -1,0 +1,196 @@
+package stats
+
+import "math"
+
+// Online accumulates count/mean/variance/min/max in O(1) memory using
+// Welford's algorithm, for telemetry paths that must never materialize
+// a per-observation array (the million-node sweeps feed one value per
+// round or per node through it). Mean and Stddev match Summarize on the
+// same series up to floating-point associativity; when bit-identical
+// statistics against the retained-array path are required (golden
+// fingerprints), keep using Summarize.
+type Online struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe folds one value into the accumulator.
+func (o *Online) Observe(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// Count returns the number of observations.
+func (o *Online) Count() int { return o.n }
+
+// Sum returns the running total (mean × count).
+func (o *Online) Sum() float64 { return o.mean * float64(o.n) }
+
+// Mean returns the running mean, or 0 with no observations.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Stddev returns the sample standard deviation (n−1 denominator,
+// matching Summarize), or 0 with fewer than two observations.
+func (o *Online) Stddev() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return math.Sqrt(o.m2 / float64(o.n-1))
+}
+
+// Min returns the smallest observation, or NaN with none.
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+// Max returns the largest observation, or NaN with none.
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// OnlineQuantile estimates a single q-quantile in O(1) memory with the
+// P² algorithm (Jain & Chlamtac 1985): five markers track the running
+// min, the q/2, q, and (1+q)/2 quantile estimates, and the max,
+// adjusted per observation by parabolic interpolation. The estimate
+// converges to the true quantile as observations accumulate but is
+// approximate — use Quantile when the series fits in memory and an
+// exactly-occurred value is required (tail envelopes).
+type OnlineQuantile struct {
+	q       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	dwant   [5]float64 // desired-position increments per observation
+	initial [5]float64 // first five observations, pre-sort
+}
+
+// NewOnlineQuantile returns an estimator for the q-quantile, q clamped
+// to [0, 1].
+func NewOnlineQuantile(q float64) *OnlineQuantile {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	o := &OnlineQuantile{q: q}
+	o.dwant = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return o
+}
+
+// Observe folds one value into the estimator.
+func (o *OnlineQuantile) Observe(x float64) {
+	if o.n < 5 {
+		o.initial[o.n] = x
+		o.n++
+		if o.n == 5 {
+			// Sort the first five observations into the marker heights.
+			h := o.initial
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && h[j-1] > h[j]; j-- {
+					h[j-1], h[j] = h[j], h[j-1]
+				}
+			}
+			o.heights = h
+			o.pos = [5]float64{1, 2, 3, 4, 5}
+			o.want = [5]float64{1, 1 + 2*o.q, 1 + 4*o.q, 3 + 2*o.q, 5}
+		}
+		return
+	}
+	o.n++
+
+	// Find the cell k with heights[k] ≤ x < heights[k+1], extending the
+	// extreme markers when x falls outside them.
+	var k int
+	switch {
+	case x < o.heights[0]:
+		o.heights[0] = x
+		k = 0
+	case x >= o.heights[4]:
+		o.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < o.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		o.pos[i]++
+	}
+	for i := range o.want {
+		o.want[i] += o.dwant[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := o.want[i] - o.pos[i]
+		if (d >= 1 && o.pos[i+1]-o.pos[i] > 1) || (d <= -1 && o.pos[i-1]-o.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := o.parabolic(i, sign)
+			if o.heights[i-1] < h && h < o.heights[i+1] {
+				o.heights[i] = h
+			} else {
+				o.heights[i] = o.linear(i, sign)
+			}
+			o.pos[i] += sign
+		}
+	}
+}
+
+func (o *OnlineQuantile) parabolic(i int, d float64) float64 {
+	return o.heights[i] + d/(o.pos[i+1]-o.pos[i-1])*
+		((o.pos[i]-o.pos[i-1]+d)*(o.heights[i+1]-o.heights[i])/(o.pos[i+1]-o.pos[i])+
+			(o.pos[i+1]-o.pos[i]-d)*(o.heights[i]-o.heights[i-1])/(o.pos[i]-o.pos[i-1]))
+}
+
+func (o *OnlineQuantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return o.heights[i] + d*(o.heights[j]-o.heights[i])/(o.pos[j]-o.pos[i])
+}
+
+// Count returns the number of observations.
+func (o *OnlineQuantile) Count() int { return o.n }
+
+// Estimate returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact nearest-rank quantile of what
+// has been seen; NaN with none.
+func (o *OnlineQuantile) Estimate() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	if o.n < 5 {
+		seen := append([]float64(nil), o.initial[:o.n]...)
+		for i := 1; i < len(seen); i++ {
+			for j := i; j > 0 && seen[j-1] > seen[j]; j-- {
+				seen[j-1], seen[j] = seen[j], seen[j-1]
+			}
+		}
+		return quantileSorted(seen, o.q)
+	}
+	return o.heights[2]
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOnlineMatchesSummarize cross-checks the O(1)-memory accumulator
+// against the retained-array Summarize on random series.
+func TestOnlineMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+			o.Observe(xs[i])
+		}
+		want := Summarize(xs)
+		if o.Count() != want.Count {
+			t.Fatalf("trial %d: count %d != %d", trial, o.Count(), want.Count)
+		}
+		if o.Min() != want.Min || o.Max() != want.Max {
+			t.Fatalf("trial %d: min/max (%v,%v) != (%v,%v)", trial, o.Min(), o.Max(), want.Min, want.Max)
+		}
+		if math.Abs(o.Mean()-want.Mean) > 1e-9*math.Abs(want.Mean)+1e-12 {
+			t.Fatalf("trial %d: mean %v != %v", trial, o.Mean(), want.Mean)
+		}
+		if math.Abs(o.Stddev()-want.Stddev) > 1e-8*want.Stddev+1e-9 {
+			t.Fatalf("trial %d: stddev %v != %v", trial, o.Stddev(), want.Stddev)
+		}
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Count() != 0 || o.Mean() != 0 || o.Stddev() != 0 || o.Sum() != 0 {
+		t.Fatalf("zero-value accumulator not zero: %+v", o)
+	}
+	if !math.IsNaN(o.Min()) || !math.IsNaN(o.Max()) {
+		t.Fatal("empty min/max should be NaN")
+	}
+	o.Observe(7)
+	if o.Count() != 1 || o.Mean() != 7 || o.Stddev() != 0 || o.Min() != 7 || o.Max() != 7 || o.Sum() != 7 {
+		t.Fatalf("single observation: %+v", o)
+	}
+}
+
+// TestOnlineQuantileConverges checks the P² estimate lands within a
+// few percent of the exact quantile on large random series from
+// several distributions.
+func TestOnlineQuantileConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	draws := []struct {
+		name string
+		gen  func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() }},
+		{"normal", func() float64 { return rng.NormFloat64() }},
+		{"exponential", func() float64 { return rng.ExpFloat64() }},
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		for _, d := range draws {
+			est := NewOnlineQuantile(q)
+			xs := make([]float64, 50000)
+			for i := range xs {
+				xs[i] = d.gen()
+				est.Observe(xs[i])
+			}
+			exact := Quantile(xs, q)
+			spread := Quantile(xs, 1) - Quantile(xs, 0)
+			if math.Abs(est.Estimate()-exact) > 0.02*spread {
+				t.Errorf("%s q=%v: P² estimate %v vs exact %v (spread %v)",
+					d.name, q, est.Estimate(), exact, spread)
+			}
+		}
+	}
+}
+
+func TestOnlineQuantileSmall(t *testing.T) {
+	est := NewOnlineQuantile(0.5)
+	if !math.IsNaN(est.Estimate()) {
+		t.Fatal("empty estimator should report NaN")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		est.Observe(x)
+	}
+	// Fewer than five observations: exact nearest-rank fallback.
+	if got := est.Estimate(); got != 3 {
+		t.Fatalf("median of {5,1,3} = %v, want 3", got)
+	}
+	if est.Count() != 3 {
+		t.Fatalf("count = %d", est.Count())
+	}
+}
+
+// TestOnlineQuantileExtremes: the q=0/q=1 interior marker converges to
+// the extremes only asymptotically (interpolated, not tracked), so the
+// check is a tight tolerance rather than equality.
+func TestOnlineQuantileExtremes(t *testing.T) {
+	lo, hi := NewOnlineQuantile(0), NewOnlineQuantile(1)
+	for i := 0; i < 1000; i++ {
+		x := float64(i%97) - 48
+		lo.Observe(x)
+		hi.Observe(x)
+	}
+	if math.Abs(lo.Estimate()-(-48)) > 0.1 {
+		t.Fatalf("q=0 estimate %v, want ≈ min -48", lo.Estimate())
+	}
+	if math.Abs(hi.Estimate()-48) > 0.1 {
+		t.Fatalf("q=1 estimate %v, want ≈ max 48", hi.Estimate())
+	}
+}

@@ -149,6 +149,70 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestStreamingSummaryParity runs the same execution through a full
+// observer-fed recorder and a streaming digest-fed recorder and demands
+// identical Summary values — including the float statistics, which both
+// modes must derive from the same per-round series.
+func TestStreamingSummaryParity(t *testing.T) {
+	run := func(rec *Recorder, opt sim.Option) {
+		nodes := []sim.Node{&loudNode{peer: 1, sendFor: 3}, &loudNode{peer: 0, sendFor: 1}, quietNode{}}
+		nw := sim.NewNetwork(nodes, opt)
+		defer nw.Close()
+		for i := 0; i < 5; i++ {
+			nw.StepRound()
+		}
+	}
+	full := NewRecorder()
+	run(full, sim.WithObserver(full.Observe))
+	stream := NewStreamingRecorder()
+	run(stream, sim.WithRoundDigest(stream.ObserveDigest))
+	if full.Summary() != stream.Summary() {
+		t.Fatalf("streaming summary %+v != full summary %+v", stream.Summary(), full.Summary())
+	}
+	if stream.Summary() == (Summary{}) {
+		t.Fatal("parity run recorded nothing")
+	}
+}
+
+// TestObserveDigestFullMode checks that a full-mode recorder fed by
+// digests materializes the same rounds Observe would have.
+func TestObserveDigestFullMode(t *testing.T) {
+	byObserve := NewRecorder()
+	byObserve.Observe(0, msgs("a", "a", "b"))
+	byObserve.Observe(1, nil)
+
+	byDigest := NewRecorder()
+	perKind := map[string]int64{"a": 2, "b": 1}
+	byDigest.ObserveDigest(sim.RoundDigest{Round: 0, Messages: 3, Bits: 12, PerKind: perKind})
+	clear(perKind) // the engine reuses the map between rounds
+	byDigest.ObserveDigest(sim.RoundDigest{Round: 1, PerKind: perKind})
+
+	a, b := byObserve.Rounds(), byDigest.Rounds()
+	if len(a) != len(b) {
+		t.Fatalf("round counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Round != b[i].Round || a[i].Messages != b[i].Messages || a[i].Bits != b[i].Bits {
+			t.Fatalf("round %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for k, v := range a[i].ByKind {
+			if b[i].ByKind[k] != v {
+				t.Fatalf("round %d kind %q: %d vs %d", i, k, b[i].ByKind[k], v)
+			}
+		}
+	}
+	if byObserve.Summary() != byDigest.Summary() {
+		t.Fatalf("summaries differ: %+v vs %+v", byObserve.Summary(), byDigest.Summary())
+	}
+}
+
+// TestStreamingEmpty pins the zero-value behavior of streaming mode.
+func TestStreamingEmpty(t *testing.T) {
+	if s := NewStreamingRecorder().Summary(); s != (Summary{}) {
+		t.Fatalf("empty streaming summary = %+v", s)
+	}
+}
+
 func TestSummary(t *testing.T) {
 	r := NewRecorder()
 	if s := r.Summary(); s != (Summary{}) {

@@ -1,0 +1,53 @@
+package renaming_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"renaming"
+)
+
+// TestCrashMemorySmoke is the CI peak-RSS smoke gate: a whole-run crash
+// execution at n=2^16 under the committee-killer adversary must stay
+// under a fixed live-heap ceiling. The ceiling is calibrated ~2× above
+// the measured peak of the slab-inbox engine (see docs/MEMORY.md for
+// the scaling model), so it trips on a regression that reintroduces
+// per-node O(n) state — per-node inbox slot arrays, materialized
+// per-round traces — without flaking on allocator noise. CI runs the
+// job under GOMEMLIMIT as a second, harder backstop: blowing the limit
+// turns into GC thrash and a timeout instead of a green run.
+//
+// Gated behind RENAMING_MEMSMOKE=1 because the run takes tens of
+// seconds — it is a dedicated CI job, not part of `go test ./...`.
+func TestCrashMemorySmoke(t *testing.T) {
+	if os.Getenv("RENAMING_MEMSMOKE") != "1" {
+		t.Skip("set RENAMING_MEMSMOKE=1 to run the memory smoke gate")
+	}
+	const n = 1 << 16
+	const ceilingMB = 4096.0 // measured peak ≈ 2.1 GB on the slab engine
+
+	runtime.GC()
+	w := watchHeap()
+	res, err := renaming.RunCrash(n, renaming.CrashSpec{
+		Seed:           1,
+		CommitteeScale: 0.02,
+		Profile:        true,
+		Fault: renaming.FaultSpec{
+			Kind: renaming.FaultCommitteeKiller, Budget: 64, MidSend: true,
+		},
+	})
+	peak := w.PeakMB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatal("run did not produce unique names")
+	}
+	t.Logf("n=%d whole run: peak live heap %.1f MB, %d rounds, %d messages",
+		n, peak, res.Rounds, res.Messages)
+	if peak > ceilingMB {
+		t.Fatalf("peak live heap %.1f MB exceeds the %.0f MB ceiling — "+
+			"per-node state is scaling again (see docs/MEMORY.md)", peak, ceilingMB)
+	}
+}

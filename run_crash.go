@@ -147,9 +147,15 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 		sim.WithPeek(func(i int) any { return nodes[i].Peek() }),
 	}
 	var recorder *trace.Recorder
-	if spec.Trace != nil || spec.Profile {
+	if spec.Trace != nil {
 		recorder = trace.NewRecorder()
 		opts = append(opts, sim.WithObserver(recorder.Observe))
+	} else if spec.Profile {
+		// Profile-only runs need Summary, not the per-round timeline, so
+		// the streaming recorder's digest feed avoids materializing the
+		// round's delivered-message slice for the observer.
+		recorder = trace.NewStreamingRecorder()
+		opts = append(opts, sim.WithRoundDigest(recorder.ObserveDigest))
 	}
 	if spec.CongestLimit > 0 {
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
