@@ -17,6 +17,7 @@ ci:
 	$(GO) test -run '^$$' -bench ByzStepRound -benchtime 1x .
 	$(GO) test -run '^$$' -bench CrashStepRound -benchtime 1x .
 	$(GO) run ./cmd/campaign -algo crash -n 64 -execs 50 -seed 1
+	$(GO) run ./cmd/campaign -search -algo crash -n 64 -budget-execs 48 -seed 1 -objective envelope
 	$(GO) run ./cmd/linkcheck
 
 # The CI mem-smoke job: whole-run crash at n=2^16 under GOMEMLIMIT with

@@ -45,8 +45,8 @@ func run() (int, error) {
 		bigN       = flag.Int("N", 0, "original namespace size (default 16·n, byzantine 8·n)")
 		execs      = flag.Int("execs", 500, "number of randomized executions")
 		seed       = flag.Int64("seed", 1, "campaign master seed (all strategies and executions derive from it)")
-		gen        = flag.String("gen", "", "strategy generator: early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent (default mixed / byz-uniform)")
-		budget     = flag.Int("budget", 0, "max crashes / Byzantine nodes per execution (default n/4, byzantine assumption bound)")
+		gen        = flag.String("gen", "", "strategy generator: early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent | mixed-fault (default mixed / byz-uniform)")
+		budget     = flag.Int("budget", campaign.BudgetDefault, "max crashes / Byzantine nodes per execution (-1 = default n/4 or byzantine assumption bound; 0 = zero-fault campaign)")
 		scale      = flag.Float64("committee-scale", 0, "crash election-constant scale (default 0.02)")
 		poolProb   = flag.Float64("pool-prob", 0, "Byzantine candidate-pool probability (default 20/n)")
 		workers    = flag.Int("workers", 0, "concurrent executions (default GOMAXPROCS); artifacts are byte-identical at any count")
@@ -54,6 +54,9 @@ func run() (int, error) {
 		shrinkDir  = flag.String("shrink-dir", "", "shrink the first violation of each invariant to a replayable artifact in this directory")
 		replay     = flag.String("replay", "", "replay a shrunk artifact instead of running a campaign")
 		roundCeil  = flag.Int("round-ceiling", 0, "override the oracle's round ceiling (demo/debug; 0 = theorem bound)")
+		search     = flag.Bool("search", false, "fitness-guided adversary search instead of uniform sampling (docs/CAMPAIGNS.md, Search mode)")
+		budgetEx   = flag.Int("budget-execs", 0, "total executions the search may spend (default -execs)")
+		objective  = flag.String("objective", "rounds", "search fitness: rounds | envelope")
 		asJSON     = flag.Bool("json", false, "emit the outcome summary (tails + violations) as JSON")
 		progress   = flag.Bool("progress", false, "live progress line on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path (go tool pprof)")
@@ -97,9 +100,15 @@ func run() (int, error) {
 		// An explicit ceiling replaces the default oracle with a
 		// crash-style expectation pinned to it — the "deliberately broken
 		// oracle" path used to demonstrate violation detection end-to-end.
-		expect := campaign.CrashExpectation(*n)
-		if spec.Algo == campaign.AlgoByzantine {
-			expect = campaign.ByzantineExpectation(*bigN, *budget)
+		// Normalize first so the BudgetDefault sentinel and BigN default
+		// resolve before they parameterize the expectation.
+		norm, err := spec.Normalized()
+		if err != nil {
+			return 0, err
+		}
+		expect := campaign.CrashExpectation(norm.N)
+		if norm.Algo == campaign.AlgoByzantine {
+			expect = campaign.ByzantineExpectation(norm.BigN, norm.Budget)
 		}
 		expect.RoundCeiling = *roundCeil
 		spec.Oracle = &campaign.Oracle{Expect: expect}
@@ -114,6 +123,18 @@ func run() (int, error) {
 	}
 	if *progress {
 		spec.Sinks = append(spec.Sinks, &runner.ProgressSink{W: os.Stderr})
+	}
+
+	if *search {
+		budget := *budgetEx
+		if budget <= 0 {
+			budget = *execs
+		}
+		return runSearch(campaign.SearchSpec{
+			Base:        spec,
+			Objective:   campaign.Objective(*objective),
+			BudgetExecs: budget,
+		}, *asJSON, *shrinkDir, stopProfiles)
 	}
 
 	start := time.Now()
@@ -161,6 +182,93 @@ func run() (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// runSearch executes the fitness-guided search path of -search.
+func runSearch(spec campaign.SearchSpec, asJSON bool, shrinkDir string, stopProfiles func() error) (int, error) {
+	start := time.Now()
+	out, err := campaign.Search(spec)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	var artifacts []string
+	if shrinkDir != "" && len(out.Violations) > 0 {
+		// The search's violations ride the same shrink path as a
+		// campaign's: single-execution spec + recorded strategy.
+		artifacts, err = shrinkFirstPerInvariant(&campaign.Outcome{
+			Spec: out.Base, Violations: out.Violations,
+		}, shrinkDir)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Algo        campaign.Algo             `json:"algo"`
+			Objective   campaign.Objective        `json:"objective"`
+			N           int                       `json:"n"`
+			Seed        int64                     `json:"seed"`
+			BudgetExecs int                       `json:"budgetExecs"`
+			ExecsUsed   int                       `json:"execsUsed"`
+			Best        campaign.Candidate        `json:"best"`
+			Arms        []campaign.ArmStat        `json:"arms"`
+			Generations []campaign.GenerationStat `json:"generations"`
+			Violations  []campaign.Violation      `json:"violations"`
+			Artifacts   []string                  `json:"artifacts,omitempty"`
+		}{out.Base.Algo, out.Objective, out.Base.N, out.Base.Seed,
+			spec.BudgetExecs, out.ExecsUsed, out.Best, out.Arms,
+			out.Generations, out.Violations, artifacts}); err != nil {
+			return 0, err
+		}
+	} else {
+		printSearchOutcome(out, artifacts)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: search spent %d executions in %s\n", out.ExecsUsed, elapsed)
+	if err := stopProfiles(); err != nil {
+		return 0, err
+	}
+	if len(out.Violations) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func printSearchOutcome(out *campaign.SearchOutcome, artifacts []string) {
+	b := out.Base
+	fmt.Printf("search    algo=%s objective=%s n=%d N=%d budget=%d execs=%d seed=%d\n",
+		b.Algo, out.Objective, b.N, b.BigN, b.Budget, out.ExecsUsed, b.Seed)
+	fmt.Printf("best      fitness=%s generator=%s op=%s gen=%d exec=%d events=%d byz=%d\n",
+		fmtF(out.Best.Fitness), out.Best.Strategy.Generator, out.Best.Op,
+		out.Best.Gen, out.Best.Exec,
+		len(out.Best.Strategy.Schedule), len(out.Best.Strategy.Byzantine))
+	fmt.Printf("%-16s %8s %10s\n", "family", "pulls", "mean")
+	for _, arm := range out.Arms {
+		fmt.Printf("%-16s %8d %10.3f\n", arm.Kind, arm.Pulls, arm.Mean)
+	}
+	fmt.Printf("%-6s %-8s %8s %10s %10s\n", "gen", "kind", "execs", "best", "mean")
+	for _, g := range out.Generations {
+		fmt.Printf("%-6d %-8s %8d %10s %10.3f\n", g.Gen, g.Kind, g.Execs, fmtF(g.Best), g.Mean)
+	}
+	if len(out.Violations) == 0 {
+		fmt.Printf("violations: 0 across %d executions\n", out.ExecsUsed)
+	} else {
+		fmt.Printf("violations: %d\n", len(out.Violations))
+		for i, v := range out.Violations {
+			if i >= 10 {
+				fmt.Printf("  … and %d more\n", len(out.Violations)-i)
+				break
+			}
+			fmt.Printf("  exec %d seed %d [%s] %s\n", v.Exec, v.Seed, v.Invariant, v.Detail)
+		}
+	}
+	for _, path := range artifacts {
+		fmt.Printf("shrunk reproducer: %s (replay with -replay %s)\n", path, path)
+	}
 }
 
 func printOutcome(outcome *campaign.Outcome, artifacts []string) {

@@ -48,7 +48,7 @@ func run() error {
 		early    = flag.Bool("early-stop", false, "enable the crash algorithm's early-stopping extension")
 		verbose  = flag.Bool("v", false, "print the per-link renaming")
 		outPath  = flag.String("out", "", "append the run as one JSONL telemetry record (docs/OBSERVABILITY.md)")
-		strategy = flag.String("strategy", "", "campaign strategy generator (early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent), or replay:<artifact.json>; empty keeps -fault/-behavior semantics")
+		strategy = flag.String("strategy", "", "campaign strategy generator (early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent | mixed-fault), or replay:<artifact.json>; empty keeps -fault/-behavior semantics")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this path (docs/MEMORY.md walks through one)")
 	)
@@ -96,6 +96,7 @@ func run() error {
 	// -behavior corruption set (byz-* kinds). With -strategy unset,
 	// behaviour is unchanged.
 	var stratByz map[int]renaming.Behavior
+	var stratByzFault renaming.FaultSpec
 	if *strategy != "" {
 		kind := campaign.GeneratorKind(*strategy)
 		if kind.IsByz() != (*algo == "byzantine") {
@@ -111,6 +112,10 @@ func run() error {
 			var merr error
 			if stratByz, merr = strat.ByzMap(); merr != nil {
 				return merr
+			}
+			if len(strat.Schedule) > 0 {
+				// mixed-fault strategies crash honest nodes too.
+				stratByzFault = strat.Fault()
 			}
 		} else {
 			if *algo != "crash" && *algo != "baseline-a2a" {
@@ -156,6 +161,7 @@ func run() error {
 		exec = func(seed int64) (*renaming.Result, error) {
 			spec := renaming.ByzSpec{
 				N: *bigN, Seed: seed, PoolProb: *poolProb, Byzantine: byz,
+				Fault:   stratByzFault,
 				Profile: *outPath != "",
 			}
 			if traceOut != nil {

@@ -4,9 +4,15 @@ import (
 	"renaming/internal/sim"
 )
 
-// scheduleLabel is the DeriveSeed stream label for per-event mid-send
-// filters ("schd").
+// scheduleLabel is the legacy DeriveSeed stream label for per-event
+// mid-send filters ("schd"), keyed by slice index. It survives only as
+// the fallback for pre-Salt artifacts; salted events use saltLabel.
 const scheduleLabel uint64 = 0x73636864
+
+// saltLabel is the DeriveSeed stream label for salted mid-send filters
+// ("salt"): mixed with the event's own Salt, never with its position,
+// so the filter is a stable property of the event itself.
+const saltLabel uint64 = 0x73616c74
 
 // Event is one planned crash in a replayable schedule. Unlike the
 // adaptive strategies above, an event list is plain data: it can be
@@ -25,9 +31,17 @@ type Event struct {
 	TargetCommittee bool `json:"targetCommittee,omitempty"`
 	// MidSend crashes the node mid-send: each of its round-r messages is
 	// delivered independently with probability 1/2, drawn from the
-	// schedule seed and the event's position (never from shared state),
-	// so dropping other events does not reshuffle this event's filter.
+	// schedule seed and the event's Salt (never from shared state or the
+	// event's position), so dropping, reordering, or mutating other
+	// events does not reshuffle this event's filter — the property ddmin
+	// shrinking and search-guided mutation both rely on.
 	MidSend bool `json:"midSend,omitempty"`
+	// Salt is the event's stable filter identity, assigned once at
+	// generation time and carried through every later mutation or
+	// shrink. Zero marks a legacy (pre-Salt) event, whose filter falls
+	// back to the old slice-index seeding so historical artifacts
+	// replay bit-identically.
+	Salt uint64 `json:"salt,omitempty"`
 }
 
 // EventSchedule executes a concrete crash schedule. It implements
@@ -80,7 +94,13 @@ func (a *EventSchedule) Crashes(view sim.View) []sim.CrashOrder {
 		a.used++
 		order := sim.CrashOrder{Node: node}
 		if ev.MidSend {
-			order.Filter = randomHalfFilter(sim.NewRand(a.Seed, scheduleLabel^uint64(idx)<<8))
+			label := saltLabel ^ ev.Salt
+			if ev.Salt == 0 {
+				// Legacy pre-Salt event: reproduce the historical
+				// index-keyed stream so old artifacts replay unchanged.
+				label = scheduleLabel ^ uint64(idx)<<8
+			}
+			order.Filter = randomHalfFilter(sim.NewRand(a.Seed, label))
 		}
 		orders = append(orders, order)
 	}

@@ -1,0 +1,76 @@
+package campaign
+
+import "math"
+
+// ucb1 is a deterministic UCB1 bandit over generator families: the
+// search allocates execution budget to the family whose strategies have
+// earned the highest mean reward plus an exploration bonus. Every
+// unpulled arm is tried before any exploitation, and all ties break
+// toward the lowest index, so the pull sequence is a pure function of
+// the reward sequence — a load-bearing property for the search's
+// bit-identical-at-any-worker-count guarantee.
+type ucb1 struct {
+	pulls []int
+	sums  []float64
+	total int
+}
+
+func newUCB1(arms int) *ucb1 {
+	return &ucb1{pulls: make([]int, arms), sums: make([]float64, arms)}
+}
+
+// PickBatch plans k pulls for one synchronized generation. Rewards only
+// arrive after the whole batch is evaluated, so each pick charges a
+// virtual pull: the exploration bonus shrinks for arms already chosen
+// in this batch and the batch spreads instead of collapsing onto the
+// current leader (the standard batched-UCB trick).
+func (b *ucb1) PickBatch(k int) []int {
+	virtual := append([]int(nil), b.pulls...)
+	total := b.total
+	arms := make([]int, 0, k)
+	for len(arms) < k {
+		arm := -1
+		for i, p := range virtual {
+			if p == 0 {
+				arm = i
+				break
+			}
+		}
+		if arm < 0 {
+			bestScore := math.Inf(-1)
+			for i := range virtual {
+				mean := 0.0
+				if b.pulls[i] > 0 {
+					mean = b.sums[i] / float64(b.pulls[i])
+				}
+				score := mean + math.Sqrt(2*math.Log(float64(total))/float64(virtual[i]))
+				if score > bestScore {
+					arm, bestScore = i, score
+				}
+			}
+		}
+		arms = append(arms, arm)
+		virtual[arm]++
+		total++
+	}
+	return arms
+}
+
+// Reward records one pull's outcome; r is clamped into [0, 1].
+func (b *ucb1) Reward(arm int, r float64) {
+	if arm < 0 || arm >= len(b.pulls) {
+		return
+	}
+	r = math.Min(1, math.Max(0, r))
+	b.pulls[arm]++
+	b.total++
+	b.sums[arm] += r
+}
+
+// Mean returns the arm's mean reward (0 when unpulled) — reporting only.
+func (b *ucb1) Mean(arm int) float64 {
+	if b.pulls[arm] == 0 {
+		return 0
+	}
+	return b.sums[arm] / float64(b.pulls[arm])
+}

@@ -45,7 +45,9 @@ type Spec struct {
 	// algo (crash generators for crash/baseline, byz-* for Byzantine).
 	Generator GeneratorKind
 	// Budget caps the adversary per execution (crashes or Byzantine
-	// nodes); defaults to N/4 (crash) or the Byzantine assumption bound.
+	// nodes). BudgetDefault (-1) selects the default — N/4 (crash) or
+	// the Byzantine assumption bound; 0 is an explicit zero-fault
+	// campaign (the oracle's fault-free envelope check).
 	Budget int
 	// CommitteeScale is passed through to the crash algorithm; defaults
 	// to 0.02 (the experiment suite's scaled committee).
@@ -64,6 +66,15 @@ type Spec struct {
 	// default for Algo (CrashExpectation / ByzantineExpectation).
 	Oracle *Oracle
 }
+
+// BudgetDefault is the Spec.Budget sentinel selecting the default
+// adversary budget. An explicit 0 means a zero-fault campaign — the two
+// were previously conflated, making fault-free campaigns unexpressible.
+const BudgetDefault = -1
+
+// Normalized returns the spec with every default applied — the exact
+// configuration Run would execute — or the validation error.
+func (s Spec) Normalized() (Spec, error) { return s.withDefaults() }
 
 // withDefaults normalizes the spec.
 func (s Spec) withDefaults() (Spec, error) {
@@ -93,7 +104,7 @@ func (s Spec) withDefaults() (Spec, error) {
 			s.BigN = 16 * s.N
 		}
 	}
-	if s.Budget == 0 {
+	if s.Budget == BudgetDefault {
 		if s.Algo == AlgoByzantine {
 			// Stay inside the Theorem 1.3 hypothesis f < (1/3−ε₀)·n with
 			// the default ε₀ = 0.1, so the oracle's gated checks engage.
@@ -103,7 +114,7 @@ func (s Spec) withDefaults() (Spec, error) {
 		}
 	}
 	if s.Budget < 0 || s.Budget >= s.N {
-		return s, fmt.Errorf("campaign: budget %d out of range [0, n) for n=%d", s.Budget, s.N)
+		return s, fmt.Errorf("campaign: budget %d out of range [0, n) for n=%d (use BudgetDefault = -1 for the default)", s.Budget, s.N)
 	}
 	if s.CommitteeScale == 0 {
 		s.CommitteeScale = 0.02
@@ -257,10 +268,17 @@ func replayStrategy(spec Spec, strat Strategy, seed int64, ids []int) (*renaming
 		if err != nil {
 			return nil, err
 		}
-		return renaming.RunByzantine(spec.N, renaming.ByzSpec{
+		bspec := renaming.ByzSpec{
 			N: spec.BigN, IDs: ids, Seed: seed,
 			PoolProb: spec.PoolProb, Byzantine: byz, Profile: true,
-		})
+		}
+		if len(strat.Schedule) > 0 {
+			// Mixed-fault strategies crash honest nodes too; the zero
+			// value keeps pure-Byzantine executions on the exact
+			// pre-mixed-fault engine configuration.
+			bspec.Fault = strat.Fault()
+		}
+		return renaming.RunByzantine(spec.N, bspec)
 	case AlgoBaselineA2A:
 		return renaming.RunBaseline(spec.N, renaming.BaselineSpec{
 			Kind: renaming.BaselineAllToAllCrash,

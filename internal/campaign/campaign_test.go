@@ -16,6 +16,7 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		var buf bytes.Buffer
 		_, err := Run(Spec{
 			Algo: AlgoCrash, N: 32, Executions: 12, Seed: 42,
+			Budget:  BudgetDefault,
 			Workers: workers,
 			Sinks:   []runner.Sink{&runner.JSONLSink{W: &buf, OmitVolatile: true}},
 		})
@@ -37,7 +38,7 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 // TestCampaignCrashNoViolations: the paper's crash algorithm must
 // survive a randomized mixed campaign with zero oracle violations.
 func TestCampaignCrashNoViolations(t *testing.T) {
-	out, err := Run(Spec{Algo: AlgoCrash, N: 48, Executions: 25, Seed: 3})
+	out, err := Run(Spec{Algo: AlgoCrash, N: 48, Executions: 25, Seed: 3, Budget: BudgetDefault})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCampaignCrashNoViolations(t *testing.T) {
 // TestCampaignByzantineNoViolations: same for the Byzantine algorithm
 // under uniformly drawn corruption sets inside the assumption bound.
 func TestCampaignByzantineNoViolations(t *testing.T) {
-	out, err := Run(Spec{Algo: AlgoByzantine, N: 24, Executions: 8, Seed: 5})
+	out, err := Run(Spec{Algo: AlgoByzantine, N: 24, Executions: 8, Seed: 5, Budget: BudgetDefault})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCampaignByzantineNoViolations(t *testing.T) {
 // TestCampaignBaselineSameSchedules: the baseline algo must accept the
 // same generated crash schedules (shared replay path).
 func TestCampaignBaselineSameSchedules(t *testing.T) {
-	out, err := Run(Spec{Algo: AlgoBaselineA2A, N: 32, Executions: 6, Seed: 9})
+	out, err := Run(Spec{Algo: AlgoBaselineA2A, N: 32, Executions: 6, Seed: 9, Budget: BudgetDefault})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,6 +142,101 @@ func TestGenerateDeterministicAndValid(t *testing.T) {
 	}
 }
 
+// TestGenerateMixedFault: the mixed crash+Byzantine family draws both
+// lists from one budget on disjoint links, always corrupts at least one
+// node, and salts every crash event.
+func TestGenerateMixedFault(t *testing.T) {
+	spec := GenSpec{Kind: GenMixedFault, N: 64, Budget: 12, Rounds: CrashRoundCeiling(64)}
+	sawCrash := false
+	for seed := int64(0); seed < 30; seed++ {
+		a, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, _ := Generate(spec, seed)
+		if len(a.Byzantine) != len(b.Byzantine) || len(a.Schedule) != len(b.Schedule) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		total := len(a.Byzantine) + len(a.Schedule)
+		if len(a.Byzantine) < 1 || total > spec.Budget {
+			t.Fatalf("seed %d: %d byz + %d crashes outside (0,%d]", seed, len(a.Byzantine), len(a.Schedule), spec.Budget)
+		}
+		links := make(map[int]bool)
+		for _, asn := range a.Byzantine {
+			if links[asn.Link] {
+				t.Fatalf("seed %d: link %d assigned twice", seed, asn.Link)
+			}
+			links[asn.Link] = true
+		}
+		for _, ev := range a.Schedule {
+			sawCrash = true
+			if links[ev.Node] {
+				t.Fatalf("seed %d: node %d both Byzantine and crashed", seed, ev.Node)
+			}
+			links[ev.Node] = true
+			if ev.Salt == 0 {
+				t.Fatalf("seed %d: crash event missing its salt", seed)
+			}
+			if ev.TargetCommittee {
+				t.Fatalf("seed %d: mixed-fault must not emit targeted-committee events", seed)
+			}
+		}
+		if _, err := a.ByzMap(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no seed produced a crash event; the mix never exercises the crash path")
+	}
+}
+
+// TestCampaignMixedFaultNoViolations: the Byzantine algorithm must
+// survive simultaneous corruptions and honest-node crashes — crashed
+// committee members count toward the assumption bound, crashed honest
+// nodes are excused from deciding.
+func TestCampaignMixedFaultNoViolations(t *testing.T) {
+	out, err := Run(Spec{
+		Algo: AlgoByzantine, N: 24, Executions: 8, Seed: 11,
+		Generator: GenMixedFault, Budget: BudgetDefault,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != 0 {
+		t.Fatalf("mixed-fault campaign produced %d violations; first: %+v", len(out.Violations), out.Violations[0])
+	}
+	sawCrash := false
+	for _, rec := range out.Records {
+		if rec.Metrics.Crashes > 0 {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no execution crashed a node; the campaign never exercised the mixed path")
+	}
+}
+
+// TestCampaignZeroFaultBudget: an explicit Budget of 0 is a zero-fault
+// campaign (previously impossible — 0 was conflated with "unset"): the
+// normalized budget stays 0 and every execution runs failure-free.
+func TestCampaignZeroFaultBudget(t *testing.T) {
+	out, err := Run(Spec{Algo: AlgoCrash, N: 32, Executions: 4, Seed: 7, Budget: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Spec.Budget != 0 {
+		t.Fatalf("normalized budget = %d, want the explicit 0", out.Spec.Budget)
+	}
+	if len(out.Violations) != 0 {
+		t.Fatalf("zero-fault campaign violated the oracle: %+v", out.Violations[0])
+	}
+	for _, rec := range out.Records {
+		if rec.Metrics.Crashes != 0 {
+			t.Fatalf("exec %d crashed %d nodes under a zero budget", rec.Index, rec.Metrics.Crashes)
+		}
+	}
+}
+
 // TestSpecValidation rejects mismatched generator/algo pairs and bad
 // sizes.
 func TestSpecValidation(t *testing.T) {
@@ -150,6 +246,7 @@ func TestSpecValidation(t *testing.T) {
 		{Algo: AlgoCrash, N: 32, Executions: 1, Generator: GenByzUniform},
 		{Algo: AlgoByzantine, N: 32, Executions: 1, Generator: GenMixed},
 		{Algo: AlgoCrash, N: 32, Executions: 1, Budget: 32},
+		{Algo: AlgoCrash, N: 32, Executions: 1, Budget: -2},
 	}
 	for i, spec := range cases {
 		if _, err := spec.withDefaults(); err == nil {

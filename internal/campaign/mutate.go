@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"math/rand"
+	"sort"
+
+	"renaming/internal/adversary"
+)
+
+// mutateStrategy returns a copy of strat with one local edit applied —
+// the greedy-mutation step of the adversary search. The operator pool:
+//
+//   - move: shift one crash event's round by ±1,
+//   - add: crash one more node (fresh salt, so existing events' mid-send
+//     filters are untouched — the property the Salt field exists for),
+//   - drop: remove one crash event,
+//   - retarget: move an event to an uncrashed node, or flip its
+//     targeted-committee flag (crash generators only; the Byzantine
+//     engine's committees are not Peek-resolvable),
+//   - toggle-midsend: flip one event's mid-send marker,
+//   - behavior / corrupt / uncorrupt: Byzantine-list edits for the
+//     byz-* and mixed-fault families.
+//
+// Every choice is drawn from rng, so a fixed rng stream makes the
+// mutation chain deterministic. Budget and node-disjointness are
+// preserved; an inapplicable operator falls through to another pick.
+func mutateStrategy(strat Strategy, spec GenSpec, rng *rand.Rand) Strategy {
+	out := strat
+	out.Schedule = append([]adversary.Event(nil), strat.Schedule...)
+	out.Byzantine = append([]ByzAssignment(nil), strat.Byzantine...)
+	rounds := spec.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+
+	var ops []func() bool
+	if len(out.Schedule) > 0 {
+		ops = append(ops,
+			func() bool { // move
+				i := rng.Intn(len(out.Schedule))
+				r := out.Schedule[i].Round + 1 - 2*rng.Intn(2)
+				if r < 0 || r >= rounds {
+					return false
+				}
+				out.Schedule[i].Round = r
+				return true
+			},
+			func() bool { // drop
+				i := rng.Intn(len(out.Schedule))
+				out.Schedule = append(out.Schedule[:i], out.Schedule[i+1:]...)
+				return true
+			},
+			func() bool { // toggle-midsend
+				i := rng.Intn(len(out.Schedule))
+				out.Schedule[i].MidSend = !out.Schedule[i].MidSend
+				return true
+			},
+			func() bool { // retarget: new node, or committee flag
+				i := rng.Intn(len(out.Schedule))
+				if !spec.Kind.IsByz() && rng.Intn(2) == 0 {
+					out.Schedule[i].TargetCommittee = !out.Schedule[i].TargetCommittee
+					return true
+				}
+				node, ok := freeLink(&out, spec.N, rng)
+				if !ok {
+					return false
+				}
+				out.Schedule[i].Node = node
+				return true
+			},
+		)
+	}
+	if len(out.Schedule)+len(out.Byzantine) < spec.Budget {
+		ops = append(ops, func() bool { // add
+			node, ok := freeLink(&out, spec.N, rng)
+			if !ok {
+				return false
+			}
+			out.Schedule = append(out.Schedule, adversary.Event{
+				Round:   rng.Intn(rounds),
+				Node:    node,
+				MidSend: rng.Intn(2) == 0,
+				Salt:    nonzeroSalt(rng),
+			})
+			return true
+		})
+	}
+	if spec.Kind.IsByz() {
+		if len(out.Byzantine) > 0 {
+			ops = append(ops, func() bool { // behavior swap
+				i := rng.Intn(len(out.Byzantine))
+				out.Byzantine[i].Behavior = byzUniformPool[rng.Intn(len(byzUniformPool))]
+				return true
+			})
+		}
+		if len(out.Byzantine) > 1 {
+			ops = append(ops, func() bool { // uncorrupt (keep ≥ 1)
+				i := rng.Intn(len(out.Byzantine))
+				out.Byzantine = append(out.Byzantine[:i], out.Byzantine[i+1:]...)
+				return true
+			})
+		}
+		if len(out.Schedule)+len(out.Byzantine) < spec.Budget {
+			ops = append(ops, func() bool { // corrupt
+				link, ok := freeLink(&out, spec.N, rng)
+				if !ok {
+					return false
+				}
+				out.Byzantine = append(out.Byzantine, ByzAssignment{
+					Link: link, Behavior: byzUniformPool[rng.Intn(len(byzUniformPool))],
+				})
+				return true
+			})
+		}
+	}
+	if len(ops) == 0 {
+		return out
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		if ops[rng.Intn(len(ops))]() {
+			break
+		}
+	}
+	sort.SliceStable(out.Schedule, func(a, b int) bool {
+		return out.Schedule[a].Round < out.Schedule[b].Round
+	})
+	sort.SliceStable(out.Byzantine, func(a, b int) bool {
+		return out.Byzantine[a].Link < out.Byzantine[b].Link
+	})
+	return out
+}
+
+// freeLink draws a link untouched by the strategy (not crashed, not
+// corrupted), scanning from a random start for determinism without
+// rejection-sampling an unbounded number of rng draws.
+func freeLink(strat *Strategy, n int, rng *rand.Rand) (int, bool) {
+	used := make(map[int]bool, len(strat.Schedule)+len(strat.Byzantine))
+	for _, ev := range strat.Schedule {
+		used[ev.Node] = true
+	}
+	for _, a := range strat.Byzantine {
+		used[a.Link] = true
+	}
+	start := rng.Intn(n)
+	for off := 0; off < n; off++ {
+		link := (start + off) % n
+		if !used[link] {
+			return link, true
+		}
+	}
+	return 0, false
+}

@@ -114,9 +114,20 @@ func ShrinkByzantine(strat Strategy, fails Fails) (Strategy, error) {
 	return strat, nil
 }
 
+// ArtifactVersion is the current replayable-artifact format. Version 2
+// added the per-event salt (the stable mid-send filter identity of
+// adversary.Event.Salt); an absent or ≤ 1 version marks a legacy
+// artifact whose saltless events replay through the historical
+// index-keyed filter stream, bit-identically to the release that wrote
+// them.
+const ArtifactVersion = 2
+
 // ReproArtifact is a minimal, replayable reproducer for one violation:
 // everything needed to re-execute the offending run from scratch.
 type ReproArtifact struct {
+	// Version is the artifact format version (see ArtifactVersion);
+	// zero in artifacts written before versioning existed.
+	Version int `json:"version,omitempty"`
 	// Algo, N, BigN, Seed, CommitteeScale, PoolProb reconstruct the
 	// execution configuration.
 	Algo           Algo    `json:"algo"`
@@ -160,6 +171,12 @@ func Shrink(spec Spec, v Violation) (*ReproArtifact, error) {
 	var shrunk Strategy
 	if spec.Algo == AlgoByzantine {
 		shrunk, err = ShrinkByzantine(v.Strategy, fails)
+		if err == nil && len(shrunk.Schedule) > 0 {
+			// Mixed-fault strategies carry a crash schedule too; shrink
+			// it after the corruption set so the final artifact is
+			// locally minimal in both lists.
+			shrunk, err = ShrinkSchedule(shrunk, fails)
+		}
 	} else {
 		shrunk, err = ShrinkSchedule(v.Strategy, fails)
 	}
@@ -167,7 +184,8 @@ func Shrink(spec Spec, v Violation) (*ReproArtifact, error) {
 		return nil, err
 	}
 	return &ReproArtifact{
-		Algo: spec.Algo, N: spec.N, BigN: spec.BigN, Seed: v.Seed,
+		Version: ArtifactVersion,
+		Algo:    spec.Algo, N: spec.N, BigN: spec.BigN, Seed: v.Seed,
 		CommitteeScale: spec.CommitteeScale, PoolProb: spec.PoolProb,
 		EarlyStop: spec.EarlyStop,
 		Invariant: v.Invariant, Detail: v.Detail, Strategy: shrunk,
@@ -223,6 +241,7 @@ func (a *ReproArtifact) Spec() Spec {
 	return Spec{
 		Algo: a.Algo, N: a.N, BigN: a.BigN, Executions: 1, Seed: a.Seed,
 		Generator:      a.Strategy.Generator,
+		Budget:         BudgetDefault,
 		CommitteeScale: a.CommitteeScale, PoolProb: a.PoolProb,
 		EarlyStop: a.EarlyStop,
 	}
@@ -260,6 +279,9 @@ func LoadArtifact(path string) (*ReproArtifact, error) {
 	}
 	if a.N <= 0 {
 		return nil, fmt.Errorf("campaign: artifact %s: missing n", path)
+	}
+	if a.Version > ArtifactVersion {
+		return nil, fmt.Errorf("campaign: artifact %s: format version %d is newer than this build's %d", path, a.Version, ArtifactVersion)
 	}
 	return &a, nil
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -89,6 +90,7 @@ func TestBrokenOracleDetectShrinkReplay(t *testing.T) {
 	broken.RoundCeiling = 1 // impossible: the algorithm needs Θ(log n) rounds
 	spec := Spec{
 		Algo: AlgoCrash, N: 32, Executions: 5, Seed: 77,
+		Budget: BudgetDefault,
 		Oracle: &Oracle{Expect: broken},
 	}
 	out, err := Run(spec)
@@ -142,10 +144,83 @@ func TestBrokenOracleDetectShrinkReplay(t *testing.T) {
 	}
 }
 
+// TestArtifactVersionAndLegacyReplay: new artifacts carry the current
+// format version; a pre-versioning artifact — no version field, salt-
+// less mid-send events — still loads and replays (the schedule falls
+// back to the historical index-keyed filter stream), and an artifact
+// from a future format is rejected instead of being misread.
+func TestArtifactVersionAndLegacyReplay(t *testing.T) {
+	broken := CrashExpectation(32)
+	broken.RoundCeiling = 1
+	out, err := Run(Spec{
+		Algo: AlgoCrash, N: 32, Executions: 1, Seed: 77,
+		Budget: BudgetDefault, Oracle: &Oracle{Expect: broken},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := Shrink(out.Spec, out.Violations[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.Version != ArtifactVersion {
+		t.Fatalf("new artifact has version %d, want %d", artifact.Version, ArtifactVersion)
+	}
+
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "legacy.json")
+	// A hand-rolled pre-Salt artifact: note the mid-send events carry no
+	// "salt" key — exactly what older releases wrote.
+	if err := os.WriteFile(legacy, []byte(`{
+		"algo": "crash", "n": 32, "N": 512, "seed": 99,
+		"invariant": "round-ceiling", "detail": "legacy fixture",
+		"strategy": {
+			"generator": "trickle",
+			"schedule": [
+				{"round": 2, "node": 5, "midSend": true},
+				{"round": 6, "node": 11, "midSend": true}
+			],
+			"scheduleSeed": 1234
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Version != 0 {
+		t.Fatalf("legacy artifact reports version %d, want 0", loaded.Version)
+	}
+	for _, ev := range loaded.Strategy.Schedule {
+		if ev.Salt != 0 {
+			t.Fatalf("legacy event grew a salt: %+v", ev)
+		}
+	}
+	res, viols, err := loaded.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 0 {
+		t.Fatalf("legacy replay violated the oracle: %+v", viols)
+	}
+	if !res.Unique || res.Crashes != 2 {
+		t.Fatalf("legacy replay wrong: unique=%v crashes=%d, want true/2", res.Unique, res.Crashes)
+	}
+
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"version": 99, "algo": "crash", "n": 32, "N": 512, "seed": 1, "invariant": "uniqueness", "strategy": {"generator": "mixed"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(future); err == nil {
+		t.Fatal("future-format artifact accepted")
+	}
+}
+
 // TestShrinkRefusesNonReproducing: a violation that does not reproduce
 // under its own (seed, strategy) must be rejected, not "shrunk".
 func TestShrinkRefusesNonReproducing(t *testing.T) {
-	spec := Spec{Algo: AlgoCrash, N: 32, Executions: 1, Seed: 1}
+	spec := Spec{Algo: AlgoCrash, N: 32, Executions: 1, Seed: 1, Budget: BudgetDefault}
 	norm, err := spec.withDefaults()
 	if err != nil {
 		t.Fatal(err)

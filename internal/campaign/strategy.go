@@ -55,6 +55,11 @@ const (
 	// GenByzSilent corrupts nodes into pure silence — the crash-like
 	// Byzantine floor.
 	GenByzSilent GeneratorKind = "byz-silent"
+	// GenMixedFault splits the budget between Byzantine corruptions and
+	// crash events in one execution — the fault model the Section 3
+	// assumptions actually face (a Byzantine adversary subsumes crashes,
+	// so both must count toward its hypothesis bound).
+	GenMixedFault GeneratorKind = "mixed-fault"
 )
 
 // CrashGenerators lists the crash-schedule generator kinds.
@@ -62,15 +67,16 @@ func CrashGenerators() []GeneratorKind {
 	return []GeneratorKind{GenEarlyBurst, GenTrickle, GenTargeted, GenMixed}
 }
 
-// ByzGenerators lists the Byzantine-strategy generator kinds.
+// ByzGenerators lists the Byzantine-strategy generator kinds (including
+// the mixed crash+Byzantine family, which runs under AlgoByzantine).
 func ByzGenerators() []GeneratorKind {
-	return []GeneratorKind{GenByzUniform, GenByzSkew, GenByzSilent}
+	return []GeneratorKind{GenByzUniform, GenByzSkew, GenByzSilent, GenMixedFault}
 }
 
 // IsByz reports whether the kind generates Byzantine strategies.
 func (g GeneratorKind) IsByz() bool {
 	switch g {
-	case GenByzUniform, GenByzSkew, GenByzSilent:
+	case GenByzUniform, GenByzSkew, GenByzSilent, GenMixedFault:
 		return true
 	}
 	return false
@@ -166,10 +172,23 @@ func Generate(spec GenSpec, seed int64) (Strategy, error) {
 		return Strategy{}, fmt.Errorf("campaign: budget %d out of range [0, n) for n=%d", spec.Budget, spec.N)
 	}
 	rng := sim.NewRand(seed, stratLabel)
+	if spec.Kind == GenMixedFault {
+		return generateMixedFault(spec, seed, rng)
+	}
 	if spec.Kind.IsByz() {
 		return generateByz(spec, rng)
 	}
 	return generateCrash(spec, seed, rng)
+}
+
+// nonzeroSalt draws an event's stable filter identity. Zero is reserved
+// as the legacy "pre-Salt" marker, so redraw on the (2⁻⁶⁴) collision.
+func nonzeroSalt(rng *rand.Rand) uint64 {
+	for {
+		if s := rng.Uint64(); s != 0 {
+			return s
+		}
+	}
 }
 
 func generateCrash(spec GenSpec, seed int64, rng *rand.Rand) (Strategy, error) {
@@ -188,7 +207,7 @@ func generateCrash(spec GenSpec, seed int64, rng *rand.Rand) (Strategy, error) {
 		if kind == GenMixed {
 			kind = []GeneratorKind{GenEarlyBurst, GenTrickle, GenTargeted}[rng.Intn(3)]
 		}
-		ev := adversary.Event{Node: nodes[i], MidSend: rng.Intn(2) == 0}
+		ev := adversary.Event{Node: nodes[i], MidSend: rng.Intn(2) == 0, Salt: nonzeroSalt(rng)}
 		switch kind {
 		case GenEarlyBurst:
 			ev.Round = rng.Intn(min(4, rounds))
@@ -243,5 +262,48 @@ func generateByz(spec GenSpec, rng *rand.Rand) (Strategy, error) {
 		}
 		strat.Byzantine = append(strat.Byzantine, ByzAssignment{Link: link, Behavior: behavior})
 	}
+	return strat, nil
+}
+
+// generateMixedFault splits the Budget between Byzantine corruptions
+// and crash events on disjoint links: at least one corruption (else the
+// strategy degenerates to a crash campaign under the wrong algo), the
+// rest of the drawn total becomes mid-execution crashes of honest
+// nodes. Targeted-committee events are excluded — the Byzantine
+// engine's committees are resolved by the candidate-pool election, not
+// the crash Peek hook.
+func generateMixedFault(spec GenSpec, seed int64, rng *rand.Rand) (Strategy, error) {
+	strat := Strategy{Generator: GenMixedFault, ScheduleSeed: sim.DeriveSeed(seed, stratLabel<<1)}
+	if spec.Budget == 0 {
+		return strat, nil
+	}
+	rounds := spec.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	total := 1 + rng.Intn(spec.Budget)
+	byzCount := 1
+	if total > 1 {
+		byzCount += rng.Intn(total)
+	}
+	links := rng.Perm(spec.N)[:total]
+	byzLinks := append([]int(nil), links[:byzCount]...)
+	sort.Ints(byzLinks)
+	for _, link := range byzLinks {
+		strat.Byzantine = append(strat.Byzantine, ByzAssignment{
+			Link: link, Behavior: byzUniformPool[rng.Intn(len(byzUniformPool))],
+		})
+	}
+	for _, node := range links[byzCount:] {
+		strat.Schedule = append(strat.Schedule, adversary.Event{
+			Round:   rng.Intn(rounds),
+			Node:    node,
+			MidSend: rng.Intn(2) == 0,
+			Salt:    nonzeroSalt(rng),
+		})
+	}
+	sort.SliceStable(strat.Schedule, func(a, b int) bool {
+		return strat.Schedule[a].Round < strat.Schedule[b].Round
+	})
 	return strat, nil
 }

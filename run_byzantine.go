@@ -76,6 +76,12 @@ type ByzSpec struct {
 	SplitAlways bool
 	// Byzantine maps link index → behaviour for corrupted nodes.
 	Byzantine map[int]Behavior
+	// Fault optionally crashes honest nodes mid-execution (mixed
+	// crash+Byzantine campaigns). A Byzantine adversary subsumes
+	// crashes, so crashed honest committee members count toward the
+	// Theorem 1.3 hypothesis bound alongside the corrupted ones. The
+	// zero value keeps the network crash-free.
+	Fault FaultSpec
 	// Trace, when non-nil, receives a per-round traffic timeline after
 	// the run.
 	Trace io.Writer
@@ -145,6 +151,12 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 		simNodes[i] = node
 	}
 	opts := []sim.Option{sim.WithByzantine(byzLinks)}
+	if spec.Fault.Kind != 0 || spec.Fault.Custom != nil {
+		// Gated so pure-Byzantine runs keep their exact engine
+		// configuration (and determinism fingerprints) from before
+		// mixed-fault support existed.
+		opts = append(opts, sim.WithCrashAdversary(spec.Fault.build(spec.Seed)))
+	}
 	if len(rushLinks) > 0 {
 		opts = append(opts, sim.WithRushing(rushLinks))
 	}
@@ -179,6 +191,7 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 	res := &Result{
 		NewIDByLink: make([]int, n),
 		Byzantine:   len(byzLinks),
+		Crashes:     nw.Crashes(),
 	}
 	if recorder != nil {
 		res.RoundStats = roundStatsFrom(recorder)
@@ -199,8 +212,12 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 		if res.CommitteeSize == 0 && node.CommitteeSize() > 0 {
 			res.CommitteeSize = node.CommitteeSize()
 			byzInCommittee = node.ByzantineInCommittee(func(link int) bool {
+				// Crashed honest members count as adversarial: a
+				// Byzantine adversary can always emulate a crash, so the
+				// hypothesis bound must absorb both (conservative — a
+				// crash is strictly weaker than full corruption).
 				_, bad := spec.Byzantine[link]
-				return bad
+				return bad || !nw.Alive(link)
 			})
 		}
 	}
@@ -208,7 +225,9 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 	fillMetrics(res, nw)
 	res.fill(spec.IDs)
 	for i := 0; i < n; i++ {
-		if _, bad := spec.Byzantine[i]; !bad && res.NewIDByLink[i] < 0 {
+		// Crashed honest nodes are excused from deciding (same contract
+		// as the crash algorithm); surviving honest nodes are not.
+		if _, bad := spec.Byzantine[i]; !bad && nw.Alive(i) && res.NewIDByLink[i] < 0 {
 			res.Unique = false
 		}
 	}
