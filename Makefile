@@ -16,8 +16,10 @@ ci:
 	$(GO) test -run '^$$' -bench StepRound -benchtime 1x ./internal/sim
 	$(GO) test -run '^$$' -bench ByzStepRound -benchtime 1x .
 	$(GO) test -run '^$$' -bench CrashStepRound -benchtime 1x .
+	$(GO) test -run '^$$' -bench ChurnEpoch -benchtime 1x .
 	$(GO) run ./cmd/campaign -algo crash -n 64 -execs 50 -seed 1
 	$(GO) run ./cmd/campaign -search -algo crash -n 64 -budget-execs 48 -seed 1 -objective envelope
+	$(GO) run ./cmd/renamed -n 256 -epochs 40 -faults 16 -seed 2
 	$(GO) run ./cmd/linkcheck
 
 # The CI mem-smoke job: whole-run crash at n=2^16 under GOMEMLIMIT with
@@ -45,14 +47,16 @@ cover:
 	$(GO) test -short -cover ./...
 
 # Full benchmark sweep. The raw text passes through unchanged; every
-# Byzantine-path benchmark additionally lands in BENCH_byz.json and
-# every crash-path benchmark in BENCH_crash.json, the structured
-# before/after ledgers (cmd/benchjson chains: each stage records its
-# matches and passes the text through).
+# Byzantine-path benchmark additionally lands in BENCH_byz.json, every
+# crash-path benchmark in BENCH_crash.json, and the churn-service
+# benchmarks in BENCH_churn.json, the structured before/after ledgers
+# (cmd/benchjson chains: each stage records its matches and passes the
+# text through).
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -match Byz -out BENCH_byz.json \
-		| $(GO) run ./cmd/benchjson -match Crash -out BENCH_crash.json
+		| $(GO) run ./cmd/benchjson -match Crash -out BENCH_crash.json \
+		| $(GO) run ./cmd/benchjson -match Churn -out BENCH_churn.json
 
 # Regenerate every table/figure of the reproduction (minutes).
 experiments:

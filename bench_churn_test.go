@@ -1,0 +1,62 @@
+package renaming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"renaming/internal/service"
+)
+
+// BenchmarkChurnEpoch measures the steady-state per-epoch cost of the
+// long-lived renaming service — one trace draw, one one-shot crash run
+// over the join batch, free-list recycling, and the commit — at the
+// capacities the E11 churn experiment sweeps. The trace runs warm (the
+// population hovers around capacity, so most grants are recycles),
+// which is the regime a long-lived service lives in. The CI bench-smoke
+// job runs this at -benchtime 1x; make bench records it into
+// BENCH_churn.json.
+func BenchmarkChurnEpoch(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// BigN far above the default 16·n keeps the identity stream
+			// from exhausting at large -benchtime; draws stay O(batch).
+			spec := service.TraceSpec{Capacity: n, BigN: 4096 * n, Seed: int64(n)}
+			cfg := service.Config{Capacity: n, BigN: 4096 * n, Seed: int64(n)}
+			driver, err := service.NewTraceDriver(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := service.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the service to its steady-state population so every
+			// measured epoch does real join/leave/recycle work.
+			for epoch := 0; epoch < 8; epoch++ {
+				joins, leaves, err := driver.NextEpoch(svc.LiveClients())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := svc.RunEpoch(joins, leaves); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				joins, leaves, err := driver.NextEpoch(svc.LiveClients())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := svc.RunEpoch(joins, leaves)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Aborted {
+					b.Fatalf("epoch %d aborted: %s", res.Epoch, res.AbortReason)
+				}
+			}
+		})
+	}
+}

@@ -40,12 +40,13 @@ func main() {
 
 func run() (int, error) {
 	var (
-		algo       = flag.String("algo", "crash", "crash | byzantine | baseline-a2a")
+		algo       = flag.String("algo", "crash", "crash | byzantine | baseline-a2a | service")
 		n          = flag.Int("n", 256, "number of nodes")
 		bigN       = flag.Int("N", 0, "original namespace size (default 16·n, byzantine 8·n)")
 		execs      = flag.Int("execs", 500, "number of randomized executions")
 		seed       = flag.Int64("seed", 1, "campaign master seed (all strategies and executions derive from it)")
-		gen        = flag.String("gen", "", "strategy generator: early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent | mixed-fault (default mixed / byz-uniform)")
+		gen        = flag.String("gen", "", "strategy generator: early-burst | trickle | targeted | mixed | byz-uniform | byz-skew | byz-silent | mixed-fault | churn (default mixed / byz-uniform / churn)")
+		epochs     = flag.Int("epochs", 0, "epochs per service execution (-algo service; default 24)")
 		budget     = flag.Int("budget", campaign.BudgetDefault, "max crashes / Byzantine nodes per execution (-1 = default n/4 or byzantine assumption bound; 0 = zero-fault campaign)")
 		scale      = flag.Float64("committee-scale", 0, "crash election-constant scale (default 0.02)")
 		poolProb   = flag.Float64("pool-prob", 0, "Byzantine candidate-pool probability (default 20/n)")
@@ -84,6 +85,7 @@ func run() (int, error) {
 		N:              *n,
 		BigN:           *bigN,
 		Executions:     *execs,
+		Epochs:         *epochs,
 		Seed:           *seed,
 		Generator:      campaign.GeneratorKind(*gen),
 		Budget:         *budget,
@@ -92,7 +94,7 @@ func run() (int, error) {
 		Workers:        *workers,
 	}
 	switch spec.Algo {
-	case campaign.AlgoCrash, campaign.AlgoByzantine, campaign.AlgoBaselineA2A:
+	case campaign.AlgoCrash, campaign.AlgoByzantine, campaign.AlgoBaselineA2A, campaign.AlgoService:
 	default:
 		return 0, fmt.Errorf("unknown algo %q", *algo)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"renaming"
 	"renaming/internal/runner"
+	"renaming/internal/service"
 	"renaming/internal/sim"
 )
 
@@ -24,6 +25,13 @@ const (
 	// it faces the exact same generated schedules as AlgoCrash, so
 	// campaigns compare algorithms under identical adversaries.
 	AlgoBaselineA2A Algo = "baseline-a2a"
+	// AlgoService is the long-lived renaming service
+	// (internal/service): each execution drives a seeded join/leave
+	// trace for Spec.Epochs epochs against a GenChurn strategy, with
+	// every epoch re-checked by the ServiceOracle. N is the service
+	// capacity; Budget caps the strategy's total crash events across
+	// the whole trace.
+	AlgoService Algo = "service"
 )
 
 // Spec configures one campaign: Executions independent runs of Algo at
@@ -57,6 +65,9 @@ type Spec struct {
 	PoolProb float64
 	// EarlyStop enables the crash algorithm's early-stopping extension.
 	EarlyStop bool
+	// Epochs is the trace length per execution (AlgoService only);
+	// defaults to 24.
+	Epochs int
 	// Workers caps concurrent executions; <=0 means GOMAXPROCS. The
 	// campaign artifact is byte-identical at any worker count.
 	Workers int
@@ -88,14 +99,26 @@ func (s Spec) withDefaults() (Spec, error) {
 		s.Algo = AlgoCrash
 	}
 	if s.Generator == "" {
-		if s.Algo == AlgoByzantine {
+		switch s.Algo {
+		case AlgoByzantine:
 			s.Generator = GenByzUniform
-		} else {
+		case AlgoService:
+			s.Generator = GenChurn
+		default:
 			s.Generator = GenMixed
 		}
 	}
 	if s.Generator.IsByz() != (s.Algo == AlgoByzantine) {
 		return s, fmt.Errorf("campaign: generator %q does not match algo %q", s.Generator, s.Algo)
+	}
+	if (s.Generator == GenChurn) != (s.Algo == AlgoService) {
+		return s, fmt.Errorf("campaign: generator %q does not match algo %q", s.Generator, s.Algo)
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 24
+	}
+	if s.Epochs < 0 {
+		return s, fmt.Errorf("campaign: epochs must be positive, got %d", s.Epochs)
 	}
 	if s.BigN == 0 {
 		if s.Algo == AlgoByzantine {
@@ -133,6 +156,11 @@ func (s Spec) defaultOracle() Oracle {
 	switch s.Algo {
 	case AlgoByzantine:
 		return Oracle{Expect: ByzantineExpectation(s.BigN, s.Budget)}
+	case AlgoService:
+		// Service executions are checked per epoch by a fresh
+		// ServiceOracle instead of the one-shot expectation; the spec
+		// oracle stays empty so its whole-trace envelopes never fire.
+		return Oracle{}
 	case AlgoBaselineA2A:
 		// The baseline is strong and O(log n)-round but pays Θ(n²·log n)
 		// messages by design, so only correctness and the cap apply; the
@@ -155,6 +183,18 @@ func (s Spec) ExecSeed(i int) int64 {
 
 // genSpec is the generation envelope for one execution.
 func (s Spec) genSpec() GenSpec {
+	if s.Algo == AlgoService {
+		// Churn events live inside per-epoch one-shot runs over join
+		// batches of at most joinMax links, across Spec.Epochs epochs.
+		return GenSpec{
+			Kind:     s.Generator,
+			N:        s.N,
+			Budget:   s.Budget,
+			Rounds:   CrashRoundCeiling(s.serviceJoinMax()),
+			Epochs:   s.Epochs,
+			BatchMax: s.serviceJoinMax(),
+		}
+	}
 	return GenSpec{
 		Kind:   s.Generator,
 		N:      s.N,
@@ -162,6 +202,10 @@ func (s Spec) genSpec() GenSpec {
 		Rounds: CrashRoundCeiling(s.N),
 	}
 }
+
+// serviceJoinMax is the per-epoch join cap of a service execution's
+// trace — the TraceSpec default for capacity N.
+func (s Spec) serviceJoinMax() int { return max(1, s.N/8) }
 
 // Outcome is a completed campaign.
 type Outcome struct {
@@ -205,18 +249,33 @@ func Run(spec Spec) (*Outcome, error) {
 				"budget": fmt.Sprint(spec.Budget), "exec": fmt.Sprint(i),
 			},
 			Run: func(seed int64) (runner.Metrics, error) {
-				strat, res, ids, err := executeOnce(spec, seed)
-				if err != nil {
-					return runner.Metrics{}, err
+				var (
+					strat Strategy
+					m     runner.Metrics
+					viols []Violation
+					err   error
+				)
+				if spec.Algo == AlgoService {
+					strat, m, viols, err = executeServiceOnce(spec, seed)
+					if err != nil {
+						return runner.Metrics{}, err
+					}
+				} else {
+					var res *renaming.Result
+					var ids []int
+					strat, res, ids, err = executeOnce(spec, seed)
+					if err != nil {
+						return runner.Metrics{}, err
+					}
+					viols = spec.Oracle.Check(spec.N, ids, res)
+					m = runner.FromResult(res, spec.N)
 				}
-				viols := spec.Oracle.Check(spec.N, ids, res)
 				for vi := range viols {
 					viols[vi].Exec = i
 					viols[vi].Seed = seed
 					viols[vi].Strategy = strat
 				}
 				violations[i] = viols
-				m := runner.FromResult(res, spec.N)
 				m.Violations = Codes(viols)
 				return m, nil
 			},
@@ -256,6 +315,89 @@ func executeOnce(spec Spec, seed int64) (Strategy, *renaming.Result, []int, erro
 		return Strategy{}, nil, nil, err
 	}
 	return strat, res, ids, nil
+}
+
+// executeServiceOnce generates a churn strategy for seed and drives one
+// long-lived service execution against it: Spec.Epochs epochs of a
+// seeded join/leave trace over a capacity-N namespace, every epoch
+// re-checked by a fresh ServiceOracle. The returned metrics aggregate
+// the whole trace (sums over epochs; service population counters in
+// Extra); the violations are epoch-keyed.
+func executeServiceOnce(spec Spec, seed int64) (Strategy, runner.Metrics, []Violation, error) {
+	strat, err := Generate(spec.genSpec(), seed)
+	if err != nil {
+		return Strategy{}, runner.Metrics{}, nil, err
+	}
+	m, viols, err := replayServiceStrategy(spec, strat, seed)
+	return strat, m, viols, err
+}
+
+// replayServiceStrategy runs one service execution against an explicit
+// churn strategy — the shared path between campaign execution and
+// replay.
+func replayServiceStrategy(spec Spec, strat Strategy, seed int64) (runner.Metrics, []Violation, error) {
+	driver, err := service.NewTraceDriver(service.TraceSpec{
+		Capacity: spec.N, BigN: spec.BigN, Seed: seed,
+	})
+	if err != nil {
+		return runner.Metrics{}, nil, err
+	}
+	svc, err := service.New(service.Config{
+		Capacity: spec.N, BigN: spec.BigN, Seed: seed,
+		CommitteeScale: spec.CommitteeScale,
+		FaultForEpoch:  strat.ChurnFault(),
+	})
+	if err != nil {
+		return runner.Metrics{}, nil, err
+	}
+	oracle := NewServiceOracle(spec.N, service.CoreCrash)
+	m := runner.Metrics{Unique: true, OrderPreserving: true, AssumptionHolds: true}
+	var viols []Violation
+	var joined, failed, released, recycled, aborted, peakLive int
+	for e := 0; e < spec.Epochs; e++ {
+		joins, leaves, err := driver.NextEpoch(svc.LiveClients())
+		if err != nil {
+			return runner.Metrics{}, nil, err
+		}
+		er, err := svc.RunEpoch(joins, leaves)
+		if err != nil {
+			return runner.Metrics{}, nil, err
+		}
+		viols = append(viols, oracle.CheckEpoch(er)...)
+		m.Rounds += er.Rounds
+		m.Messages += er.Messages
+		m.Bits += er.Bits
+		m.HonestMessages += er.HonestMessages
+		m.HonestBits += er.HonestBits
+		m.Crashes += er.Crashes
+		joined += er.Joined
+		failed += er.FailedJoins
+		released += len(er.Released)
+		recycled += er.Recycled
+		if er.Aborted {
+			aborted++
+		}
+		peakLive = er.PeakLive
+	}
+	for _, v := range viols {
+		switch v.Invariant {
+		case InvOrder:
+			m.OrderPreserving = false
+		default:
+			m.Unique = false
+		}
+	}
+	m.Extra = map[string]float64{
+		"epochs":        float64(spec.Epochs),
+		"joined":        float64(joined),
+		"failedJoins":   float64(failed),
+		"released":      float64(released),
+		"recycled":      float64(recycled),
+		"abortedEpochs": float64(aborted),
+		"peakLive":      float64(peakLive),
+		"live":          float64(svc.Live()),
+	}
+	return m, viols, nil
 }
 
 // replayStrategy runs one execution of spec's algorithm against an

@@ -35,6 +35,18 @@ const (
 	// InvIterationCeiling: the Byzantine divide-and-conquer ran more
 	// iterations than Lemma 3.10 allows.
 	InvIterationCeiling = "iteration-ceiling"
+
+	// InvRecycle: the long-lived service handed out a name that was
+	// still live (double allocation) or released a name it never
+	// granted to that client.
+	InvRecycle = "recycle"
+	// InvConservation: live names plus free names stopped summing to the
+	// service capacity, or an epoch's join accounting does not add up —
+	// a name leaked or was duplicated somewhere.
+	InvConservation = "conservation"
+	// InvRollback: an aborted epoch left a visible state change behind
+	// (the checkpoint rollback contract).
+	InvRollback = "rollback"
 )
 
 // Violation is one invariant breach, carrying everything needed to
@@ -45,6 +57,9 @@ type Violation struct {
 	// Seed is the execution seed; replaying it with the strategy
 	// reproduces the violation bit-for-bit.
 	Seed int64 `json:"seed"`
+	// Epoch keys service violations to the epoch they surfaced in
+	// (always 0 for one-shot campaigns).
+	Epoch int `json:"epoch,omitempty"`
 	// Invariant is one of the Inv* codes.
 	Invariant string `json:"invariant"`
 	// Detail is a human-readable account of the breach.

@@ -99,6 +99,46 @@ func ShrinkSchedule(strat Strategy, fails Fails) (Strategy, error) {
 	return withSchedule(events), nil
 }
 
+// ShrinkChurn minimizes an epoch-keyed churn schedule with respect to
+// fails: delta-debugs the event list, then simplifies surviving events
+// (drops mid-send filters, grounds rounds to 0) where the failure
+// persists. The epoch key is never touched — moving an event across
+// epochs would change which one-shot run it lands in, i.e. produce a
+// different strategy rather than a smaller one.
+func ShrinkChurn(strat Strategy, fails Fails) (Strategy, error) {
+	withChurn := func(events []ChurnEvent) Strategy {
+		s := strat
+		s.Churn = events
+		return s
+	}
+	events, err := ddmin(strat.Churn, func(candidate []ChurnEvent) (bool, error) {
+		return fails(withChurn(candidate))
+	})
+	if err != nil {
+		return Strategy{}, err
+	}
+	for i := range events {
+		for _, simplify := range []func(*ChurnEvent){
+			func(ev *ChurnEvent) { ev.MidSend = false },
+			func(ev *ChurnEvent) { ev.Round = 0 },
+		} {
+			candidate := append([]ChurnEvent(nil), events...)
+			simplify(&candidate[i])
+			if candidate[i] == events[i] {
+				continue
+			}
+			ok, err := fails(withChurn(candidate))
+			if err != nil {
+				return Strategy{}, err
+			}
+			if ok {
+				events = candidate
+			}
+		}
+	}
+	return withChurn(events), nil
+}
+
 // ShrinkByzantine minimizes a Byzantine assignment with respect to
 // fails by delta-debugging the corruption list.
 func ShrinkByzantine(strat Strategy, fails Fails) (Strategy, error) {
@@ -137,6 +177,8 @@ type ReproArtifact struct {
 	CommitteeScale float64 `json:"committeeScale,omitempty"`
 	PoolProb       float64 `json:"poolProb,omitempty"`
 	EarlyStop      bool    `json:"earlyStop,omitempty"`
+	// Epochs is the service-trace length (AlgoService artifacts only).
+	Epochs int `json:"epochs,omitempty"`
 	// Invariant and Detail describe the violation being reproduced.
 	Invariant string `json:"invariant"`
 	Detail    string `json:"detail,omitempty"`
@@ -177,24 +219,42 @@ func Shrink(spec Spec, v Violation) (*ReproArtifact, error) {
 			// locally minimal in both lists.
 			shrunk, err = ShrinkSchedule(shrunk, fails)
 		}
+	} else if spec.Algo == AlgoService {
+		shrunk, err = ShrinkChurn(v.Strategy, fails)
 	} else {
 		shrunk, err = ShrinkSchedule(v.Strategy, fails)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &ReproArtifact{
+	a := &ReproArtifact{
 		Version: ArtifactVersion,
 		Algo:    spec.Algo, N: spec.N, BigN: spec.BigN, Seed: v.Seed,
 		CommitteeScale: spec.CommitteeScale, PoolProb: spec.PoolProb,
 		EarlyStop: spec.EarlyStop,
 		Invariant: v.Invariant, Detail: v.Detail, Strategy: shrunk,
-	}, nil
+	}
+	if spec.Algo == AlgoService {
+		a.Epochs = spec.Epochs
+	}
+	return a, nil
 }
 
 // violates replays strat at seed under spec and reports whether the
 // oracle still flags the given invariant.
 func violates(spec Spec, strat Strategy, seed int64, invariant string) (bool, error) {
+	if spec.Algo == AlgoService {
+		_, viols, err := replayServiceStrategy(spec, strat, seed)
+		if err != nil {
+			return false, err
+		}
+		for _, found := range viols {
+			if found.Invariant == invariant {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
 	ids, err := renaming.GenerateIDs(spec.N, spec.BigN, renaming.IDsEven, seed)
 	if err != nil {
 		return false, err
@@ -220,6 +280,26 @@ func (a *ReproArtifact) Replay() (*renaming.Result, []Violation, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if spec.Algo == AlgoService {
+		// A service artifact replays the whole churn trace; the
+		// returned Result carries the trace-aggregate metrics (there
+		// is no single one-shot execution to hand back).
+		m, viols, err := replayServiceStrategy(spec, a.Strategy, a.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range viols {
+			viols[i].Seed = a.Seed
+			viols[i].Strategy = a.Strategy
+		}
+		res := &renaming.Result{
+			Unique: m.Unique, OrderPreserving: m.OrderPreserving,
+			Crashes: m.Crashes, Rounds: m.Rounds,
+			Messages: m.Messages, Bits: m.Bits,
+			HonestMessages: m.HonestMessages, HonestBits: m.HonestBits,
+		}
+		return res, viols, nil
+	}
 	ids, err := renaming.GenerateIDs(spec.N, spec.BigN, renaming.IDsEven, a.Seed)
 	if err != nil {
 		return nil, nil, err
@@ -244,6 +324,7 @@ func (a *ReproArtifact) Spec() Spec {
 		Budget:         BudgetDefault,
 		CommitteeScale: a.CommitteeScale, PoolProb: a.PoolProb,
 		EarlyStop: a.EarlyStop,
+		Epochs:    a.Epochs,
 	}
 }
 

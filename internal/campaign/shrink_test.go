@@ -234,3 +234,90 @@ func TestShrinkRefusesNonReproducing(t *testing.T) {
 		t.Fatal("expected refusal for a non-reproducing violation")
 	}
 }
+
+// TestShrinkChurnToPlantedCore: the churn shrinker reduces an
+// epoch-keyed event list to a planted two-event core, grounds the
+// surviving events' round/mid-send attributes, and never moves an
+// event across epochs.
+func TestShrinkChurnToPlantedCore(t *testing.T) {
+	strat, err := Generate(GenSpec{
+		Kind: GenChurn, N: 64, Budget: 14, Rounds: 30, Epochs: 10, BatchMax: 8,
+	}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat.Churn = append(strat.Churn,
+		ChurnEvent{Epoch: 3, Event: adversary.Event{Round: 9, Node: 2, MidSend: true}},
+		ChurnEvent{Epoch: 7, Event: adversary.Event{Round: 17, Node: 5, MidSend: true}},
+	)
+	fails := func(s Strategy) (bool, error) {
+		has := map[int]bool{}
+		for _, ev := range s.Churn {
+			has[ev.Epoch] = true
+		}
+		return has[3] && has[7], nil
+	}
+	shrunk, err := ShrinkChurn(strat, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shrunk.Churn) != 2 {
+		t.Fatalf("want 2-event core, got %d: %+v", len(shrunk.Churn), shrunk.Churn)
+	}
+	core := map[int]bool{}
+	for _, ev := range shrunk.Churn {
+		core[ev.Epoch] = true
+		if ev.MidSend || ev.Round != 0 {
+			t.Fatalf("event not simplified: %+v", ev)
+		}
+	}
+	if !core[3] || !core[7] {
+		t.Fatalf("core lost the planted epochs: %+v", shrunk.Churn)
+	}
+	if still, _ := fails(shrunk); !still {
+		t.Fatal("shrunk strategy no longer fails")
+	}
+}
+
+// TestServiceArtifactRoundtripReplay: a hand-built service artifact —
+// churn strategy plus epoch count — survives save/load and replays the
+// whole trace through the service oracle, returning trace-aggregate
+// metrics and zero violations (the service is correct).
+func TestServiceArtifactRoundtripReplay(t *testing.T) {
+	strat, err := Generate(GenSpec{
+		Kind: GenChurn, N: 32, Budget: 8,
+		Rounds: CrashRoundCeiling(8), Epochs: 12, BatchMax: 8,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact := &ReproArtifact{
+		Version: ArtifactVersion,
+		Algo:    AlgoService, N: 32, BigN: 512, Seed: 5, Epochs: 12,
+		Invariant: InvUniqueness, Detail: "fixture", Strategy: strat,
+	}
+	path := filepath.Join(t.TempDir(), "service.json")
+	if err := SaveArtifact(artifact, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epochs != 12 || loaded.Algo != AlgoService {
+		t.Fatalf("artifact roundtrip lost fields: %+v", loaded)
+	}
+	res, viols, err := loaded.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 0 {
+		t.Fatalf("service replay flagged a correct trace: %+v", viols)
+	}
+	if res == nil || !res.Unique {
+		t.Fatalf("service replay lost uniqueness: %+v", res)
+	}
+	if res.Rounds <= 0 || res.Messages <= 0 {
+		t.Fatalf("service replay returned empty aggregate metrics: %+v", res)
+	}
+}

@@ -60,6 +60,13 @@ const (
 	// assumptions actually face (a Byzantine adversary subsumes crashes,
 	// so both must count toward its hypothesis bound).
 	GenMixedFault GeneratorKind = "mixed-fault"
+
+	// GenChurn spreads crash events across the *epochs* of a long-lived
+	// service execution (AlgoService): each event names an epoch, a
+	// round within that epoch's one-shot run, and a link within the
+	// epoch's join batch — so one strategy attacks the service across
+	// epoch boundaries, which no single one-shot schedule can express.
+	GenChurn GeneratorKind = "churn"
 )
 
 // CrashGenerators lists the crash-schedule generator kinds.
@@ -82,6 +89,22 @@ func (g GeneratorKind) IsByz() bool {
 	return false
 }
 
+// ChurnGenerators lists the service-churn generator kinds.
+func ChurnGenerators() []GeneratorKind {
+	return []GeneratorKind{GenChurn}
+}
+
+// ChurnEvent is one planned crash inside a long-lived service
+// execution: the embedded adversary.Event (round, node, mid-send
+// filter, salt) scoped to one epoch's one-shot run. Node addresses a
+// link of that epoch's join batch; events whose node lands outside the
+// batch are skipped at execution time, same as events aimed at dead
+// nodes.
+type ChurnEvent struct {
+	Epoch int `json:"epoch"`
+	adversary.Event
+}
+
 // ByzAssignment corrupts one link with one behaviour (by name, so the
 // artifact is self-describing JSON).
 type ByzAssignment struct {
@@ -102,6 +125,9 @@ type Strategy struct {
 	ScheduleSeed int64 `json:"scheduleSeed,omitempty"`
 	// Byzantine is the corruption assignment (Byzantine strategies).
 	Byzantine []ByzAssignment `json:"byzantine,omitempty"`
+	// Churn is the epoch-keyed crash-event list (service strategies);
+	// ScheduleSeed drives its mid-send filters too.
+	Churn []ChurnEvent `json:"churn,omitempty"`
 }
 
 // Fault wraps the crash schedule as a renaming.FaultSpec carrying a
@@ -110,6 +136,30 @@ func (s Strategy) Fault() renaming.FaultSpec {
 	return renaming.FaultSpec{
 		Kind:   renaming.FaultNone,
 		Custom: &adversary.EventSchedule{Events: s.Schedule, Seed: s.ScheduleSeed},
+	}
+}
+
+// ChurnFault returns the per-epoch fault hook a service Config takes:
+// each call builds a fresh EventSchedule (stateful — one execution
+// only) over the strategy's events for that epoch. Salted filters make
+// every event's mid-send behaviour independent of its position, so the
+// same ChurnEvent filters identically whichever epoch subset it lands
+// in.
+func (s Strategy) ChurnFault() func(epoch, batch int) renaming.FaultSpec {
+	return func(epoch, batch int) renaming.FaultSpec {
+		var events []adversary.Event
+		for _, ev := range s.Churn {
+			if ev.Epoch == epoch {
+				events = append(events, ev.Event)
+			}
+		}
+		if len(events) == 0 {
+			return renaming.FaultSpec{}
+		}
+		return renaming.FaultSpec{
+			Kind:   renaming.FaultNone,
+			Custom: &adversary.EventSchedule{Events: events, Seed: s.ScheduleSeed},
+		}
 	}
 }
 
@@ -157,8 +207,14 @@ type GenSpec struct {
 	// [0, Budget] (crash) or [1, Budget] (byz) per strategy.
 	Budget int
 	// Rounds is the round span crash events are placed in (the
-	// algorithm's round ceiling).
+	// algorithm's round ceiling; for churn strategies, the per-epoch
+	// one-shot ceiling).
 	Rounds int
+	// Epochs is the epoch span churn events are placed in (GenChurn).
+	Epochs int
+	// BatchMax is the largest join batch a churn trace draws; churn
+	// event nodes are placed in [0, BatchMax) (GenChurn).
+	BatchMax int
 }
 
 // Generate draws one strategy from the distribution, deterministically
@@ -174,6 +230,9 @@ func Generate(spec GenSpec, seed int64) (Strategy, error) {
 	rng := sim.NewRand(seed, stratLabel)
 	if spec.Kind == GenMixedFault {
 		return generateMixedFault(spec, seed, rng)
+	}
+	if spec.Kind == GenChurn {
+		return generateChurn(spec, seed, rng)
 	}
 	if spec.Kind.IsByz() {
 		return generateByz(spec, rng)
@@ -226,6 +285,47 @@ func generateCrash(spec GenSpec, seed int64, rng *rand.Rand) (Strategy, error) {
 	// either way.
 	sort.SliceStable(strat.Schedule, func(a, b int) bool {
 		return strat.Schedule[a].Round < strat.Schedule[b].Round
+	})
+	return strat, nil
+}
+
+// generateChurn draws an epoch-keyed crash-event list for a long-lived
+// service execution: up to Budget events, each landing in a uniform
+// epoch, a uniform round of that epoch's one-shot run, and a uniform
+// link of the (worst-case) join batch. A quarter of the events target
+// the epoch's current committee instead of a fixed link — the
+// cross-epoch form of the committee-killer adaptivity. Events whose
+// link exceeds the epoch's actual batch simply never fire, matching
+// the EventSchedule contract for dead targets.
+func generateChurn(spec GenSpec, seed int64, rng *rand.Rand) (Strategy, error) {
+	epochs := max(1, spec.Epochs)
+	rounds := max(1, spec.Rounds)
+	batch := max(1, spec.BatchMax)
+	strat := Strategy{Generator: GenChurn, ScheduleSeed: sim.DeriveSeed(seed, stratLabel<<1)}
+	count := 0
+	if spec.Budget > 0 {
+		count = rng.Intn(spec.Budget + 1)
+	}
+	for i := 0; i < count; i++ {
+		ev := ChurnEvent{
+			Epoch: rng.Intn(epochs),
+			Event: adversary.Event{
+				Round:   rng.Intn(rounds),
+				Node:    rng.Intn(batch),
+				MidSend: rng.Intn(2) == 0,
+				Salt:    nonzeroSalt(rng),
+			},
+		}
+		if rng.Intn(4) == 0 {
+			ev.TargetCommittee = true
+		}
+		strat.Churn = append(strat.Churn, ev)
+	}
+	sort.SliceStable(strat.Churn, func(a, b int) bool {
+		if strat.Churn[a].Epoch != strat.Churn[b].Epoch {
+			return strat.Churn[a].Epoch < strat.Churn[b].Epoch
+		}
+		return strat.Churn[a].Round < strat.Churn[b].Round
 	})
 	return strat, nil
 }

@@ -57,6 +57,7 @@ func Tails(spec Spec, records []runner.Record) []Tail {
 	n := float64(spec.N)
 	logn := math.Log2(math.Max(2, n))
 	var rounds, msgs, bits, faults, iters, ratios []float64
+	var recycled, aborted []float64
 	for _, rec := range records {
 		m := rec.Metrics
 		rounds = append(rounds, float64(m.Rounds))
@@ -67,6 +68,8 @@ func Tails(spec Spec, records []runner.Record) []Tail {
 		iters = append(iters, float64(m.Iterations))
 		model := EnvelopeConstant * (f + logn) * n * logn
 		ratios = append(ratios, float64(m.HonestMessages)/model)
+		recycled = append(recycled, m.Extra["recycled"])
+		aborted = append(aborted, m.Extra["abortedEpochs"])
 	}
 
 	tails := []Tail{
@@ -75,7 +78,14 @@ func Tails(spec Spec, records []runner.Record) []Tail {
 		tailOf("honestBits", bits, 0, spec.Seed),
 		tailOf("faults", faults, float64(spec.Budget), spec.Seed),
 	}
-	if spec.Algo == AlgoByzantine {
+	if spec.Algo == AlgoService {
+		// Service executions sum many per-epoch one-shot runs, so the
+		// single-run envelopes do not apply; recycling and abort counts
+		// are the service-specific tails instead (scale only).
+		tails = append(tails,
+			tailOf("recycled", recycled, 0, spec.Seed),
+			tailOf("abortedEpochs", aborted, 0, spec.Seed))
+	} else if spec.Algo == AlgoByzantine {
 		// Lemma 3.10's divide-and-conquer iteration bound is the
 		// Theorem 1.3 time envelope.
 		tails = append(tails, tailOf("iterations", iters,

@@ -31,6 +31,9 @@ type Point struct {
 	FixedSeed bool
 	// Params records the swept parameters for the telemetry record.
 	Params map[string]string
+	// Epoch keys the point to a service epoch for long-lived (churn)
+	// sweeps; 0 outside epoch-structured experiments.
+	Epoch int
 	// Run executes the point. It must be deterministic in seed.
 	Run func(seed int64) (Metrics, error)
 }
@@ -115,12 +118,15 @@ func FromResult(res *renaming.Result, n int) Metrics {
 // WallClockMS and AllocBytes are the only scheduling-dependent fields;
 // everything else is deterministic in the point and its seed.
 type Record struct {
-	Experiment string            `json:"experiment"`
-	Index      int               `json:"index"`
-	Name       string            `json:"name"`
-	Seed       int64             `json:"seed"`
-	Params     map[string]string `json:"params,omitempty"`
-	Metrics    Metrics           `json:"metrics"`
+	Experiment string `json:"experiment"`
+	Index      int    `json:"index"`
+	// Epoch is the service epoch the record belongs to in epoch-
+	// structured (churn) sweeps; omitted elsewhere.
+	Epoch   int               `json:"epoch,omitempty"`
+	Name    string            `json:"name"`
+	Seed    int64             `json:"seed"`
+	Params  map[string]string `json:"params,omitempty"`
+	Metrics Metrics           `json:"metrics"`
 	// WallClockMS is the point's execution wall-clock in milliseconds.
 	WallClockMS float64 `json:"wallClockMs"`
 	// AllocBytes is the heap-allocation delta over the run (global
@@ -241,6 +247,7 @@ func execute(p Point, idx int, opts Options) Record {
 	rec := Record{
 		Experiment: p.Experiment,
 		Index:      idx,
+		Epoch:      p.Epoch,
 		Name:       p.Name,
 		Seed:       seed,
 		Params:     p.Params,

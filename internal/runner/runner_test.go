@@ -255,10 +255,10 @@ func TestCSVSink(t *testing.T) {
 	if len(lines) != 4 {
 		t.Fatalf("CSV has %d lines, want header + 3 rows", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "experiment,index,name,seed,params") {
+	if !strings.HasPrefix(lines[0], "experiment,index,epoch,name,seed,params") {
 		t.Fatalf("unexpected CSV header: %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "synthetic,0,p0,100,i=0") {
+	if !strings.HasPrefix(lines[1], "synthetic,0,0,p0,100,i=0") {
 		t.Fatalf("unexpected first row: %s", lines[1])
 	}
 	_ = recs

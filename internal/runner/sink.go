@@ -51,7 +51,7 @@ func (s *JSONLSink) Write(rec Record) error {
 // csvHeader is the fixed CSV column set. Per-kind breakdowns, trace
 // profiles, and extra scalars live only in the JSONL artifact.
 var csvHeader = []string{
-	"experiment", "index", "name", "seed", "params",
+	"experiment", "index", "epoch", "name", "seed", "params",
 	"rounds", "messages", "bits", "honestMessages", "honestBits",
 	"maxMessageBits", "maxNodeSent", "maxNodeReceived", "oversizeMessages",
 	"crashes", "byzantine", "committeeSize", "iterations",
@@ -81,8 +81,8 @@ func (s *CSVSink) Write(rec Record) error {
 	}
 	m := rec.Metrics
 	row := []string{
-		rec.Experiment, strconv.Itoa(rec.Index), rec.Name,
-		strconv.FormatInt(rec.Seed, 10), canonicalParams(rec.Params),
+		rec.Experiment, strconv.Itoa(rec.Index), strconv.Itoa(rec.Epoch),
+		rec.Name, strconv.FormatInt(rec.Seed, 10), canonicalParams(rec.Params),
 		strconv.Itoa(m.Rounds), strconv.FormatInt(m.Messages, 10),
 		strconv.FormatInt(m.Bits, 10), strconv.FormatInt(m.HonestMessages, 10),
 		strconv.FormatInt(m.HonestBits, 10), strconv.Itoa(m.MaxMessageBits),

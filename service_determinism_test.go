@@ -1,0 +1,85 @@
+package renaming_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"renaming/internal/campaign"
+	"renaming/internal/service"
+)
+
+// churnGoldenFingerprint pins the complete telemetry (JSON-marshalled
+// EpochResult stream) of a 50-epoch churn trace at capacity 256 under a
+// generated churn adversary. It covers the whole service stack — trace
+// driver, free-list recycling, per-epoch one-shot runs, fault
+// schedule — so any behaviour change anywhere in the epoch pipeline
+// moves it. Update it only for a deliberate behaviour change, never for
+// a performance change (mirrors crashGoldenFingerprint).
+const churnGoldenFingerprint = "093028e5bd5ddc780341533938730c6ad788647c9aea6382c353402e702fef15"
+
+// churnTraceFingerprint runs the determinism workload and hashes every
+// epoch's telemetry.
+func churnTraceFingerprint(t *testing.T, workers int) string {
+	t.Helper()
+	const (
+		capacity = 256
+		epochs   = 50
+		seed     = 1234
+	)
+	strat, err := campaign.Generate(campaign.GenSpec{
+		Kind: campaign.GenChurn, N: capacity, Budget: 16,
+		Rounds:   campaign.CrashRoundCeiling(capacity / 8),
+		Epochs:   epochs,
+		BatchMax: capacity / 8,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver, err := service.NewTraceDriver(service.TraceSpec{Capacity: capacity, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{
+		Capacity: capacity, Seed: seed,
+		EngineWorkers: workers,
+		FaultForEpoch: strat.ChurnFault(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for epoch := 0; epoch < epochs; epoch++ {
+		joins, leaves, err := driver.NextEpoch(svc.LiveClients())
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		res, err := svc.RunEpoch(joins, leaves)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if err := enc.Encode(res); err != nil {
+			t.Fatalf("epoch %d: marshal: %v", epoch, err)
+		}
+	}
+	if svc.Recycled() == 0 {
+		t.Fatal("determinism trace never recycled a name")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestServiceDeterminism runs the same 50-epoch churn trace with the
+// round engine pinned to 1 worker and to 8 workers and requires both to
+// match the golden fingerprint: the service's epoch pipeline is
+// observationally invariant in the engine's parallelism, which is what
+// makes cmd/renamed artifacts byte-comparable across -workers counts.
+func TestServiceDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		if got := churnTraceFingerprint(t, workers); got != churnGoldenFingerprint {
+			t.Errorf("workers=%d: churn fingerprint %s, want %s", workers, got, churnGoldenFingerprint)
+		}
+	}
+}
