@@ -31,8 +31,62 @@ func BenchmarkChurnEpoch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer svc.Close()
 			// Warm the service to its steady-state population so every
 			// measured epoch does real join/leave/recycle work.
+			for epoch := 0; epoch < 8; epoch++ {
+				joins, leaves, err := driver.NextEpoch(svc.LiveClients())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := svc.RunEpoch(joins, leaves); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				joins, leaves, err := driver.NextEpoch(svc.LiveClients())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := svc.RunEpoch(joins, leaves)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Aborted {
+					b.Fatalf("epoch %d aborted: %s", res.Epoch, res.AbortReason)
+				}
+			}
+		})
+	}
+
+	// The fixedbatch rows hold the epoch workload constant (128 joins and
+	// leaves per epoch, identities from a shared 2^22 namespace) and sweep
+	// only the Capacity knob. Under snapshot rollback these rows scaled
+	// linearly in Capacity — every epoch copied the whole owner table and
+	// free-list ring; with the undo journal and the lazy live view the
+	// per-epoch cost is O(batch), so the rows should stay flat from
+	// cap=256 through the cap=2^20 smoke row (the 1.5x ratio gate in
+	// EXPERIMENTS.md E11 reads these from BENCH_churn.json).
+	const fixedBatch = 128
+	for _, capacity := range []int{256, 4096, 65536, 1 << 20} {
+		capacity := capacity
+		b.Run(fmt.Sprintf("fixedbatch/cap=%d", capacity), func(b *testing.B) {
+			spec := service.TraceSpec{
+				Capacity: capacity, BigN: 1 << 22, Seed: 99,
+				JoinMax: fixedBatch, LeaveMax: fixedBatch,
+			}
+			cfg := service.Config{Capacity: capacity, BigN: 1 << 22, Seed: 99}
+			driver, err := service.NewTraceDriver(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := service.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
 			for epoch := 0; epoch < 8; epoch++ {
 				joins, leaves, err := driver.NextEpoch(svc.LiveClients())
 				if err != nil {

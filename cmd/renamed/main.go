@@ -108,6 +108,7 @@ func run() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer svc.Close()
 	oracle := campaign.NewServiceOracle(*capacity, svcCore)
 
 	var sinks []runner.Sink

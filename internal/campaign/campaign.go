@@ -350,6 +350,9 @@ func replayServiceStrategy(spec Spec, strat Strategy, seed int64) (runner.Metric
 	if err != nil {
 		return runner.Metrics{}, nil, err
 	}
+	// Campaigns build one service per execution; Close each so pooled
+	// one-shot engines don't pile up waiting on finalizers.
+	defer svc.Close()
 	oracle := NewServiceOracle(spec.N, service.CoreCrash)
 	m := runner.Metrics{Unique: true, OrderPreserving: true, AssumptionHolds: true}
 	var viols []Violation

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"renaming"
+)
+
+// The differential suite pins the undo journal's exactness: a journaled
+// service and a full-snapshot-rollback service (the retained model
+// implementation, snapshotRollback=true) are driven in lockstep through
+// random join/leave/abort traces, and after every epoch the complete
+// state — owner table, rename map, materialized live view, uses
+// counters, free-list slots and cursors, epoch and lifetime counters —
+// must be identical, aborted and drained-free-list epochs included.
+
+// svcState is a deep copy of everything a Service owns, for lockstep
+// comparison. Slice copies via append([]T(nil), ...) normalize empty to
+// nil, so laziness differences in when buffers materialize can't cause
+// spurious nil-vs-empty mismatches.
+type svcState struct {
+	Owner    []int32
+	Names    map[int]int
+	Live     []int
+	Uses     []uint32
+	Slots    []int32
+	Head     int
+	Tail     int
+	HeadPh   uint8
+	TailPh   uint8
+	Epoch    int
+	Peak     int
+	Joined   int64
+	Failed   int64
+	Released int64
+	Recycled int64
+	Aborts   int64
+}
+
+func captureState(s *Service) svcState {
+	return svcState{
+		Owner:    append([]int32(nil), s.owner...),
+		Names:    s.Snapshot(),
+		Live:     append([]int(nil), s.LiveClients()...),
+		Uses:     append([]uint32(nil), s.uses...),
+		Slots:    append([]int32(nil), s.free.slots...),
+		Head:     s.free.head,
+		Tail:     s.free.tail,
+		HeadPh:   s.free.headPhase,
+		TailPh:   s.free.tailPhase,
+		Epoch:    s.epoch,
+		Peak:     s.peakLive,
+		Joined:   s.totalJoined,
+		Failed:   s.totalFailed,
+		Released: s.totalReleased,
+		Recycled: s.totalRecycled,
+		Aborts:   s.totalAborts,
+	}
+}
+
+// runDifferentialTrace drives both services through one random trace.
+// The trace mixes committed epochs, forced aborts (FailEpoch fires after
+// leaves and the one-shot run mutated state), oversubscribed join
+// batches that drain the free list, crash faults that fail a subset of
+// joiners, leave-only epochs, and empty epochs.
+func runDifferentialTrace(t *testing.T, seed int64, epochs int) {
+	t.Helper()
+	const capacity = 6
+	failFlag := false
+	var fault renaming.FaultSpec
+	mk := func(model bool) *Service {
+		svc, err := New(Config{
+			Capacity: capacity,
+			BigN:     1 << 20,
+			Seed:     seed,
+			FaultForEpoch: func(epoch, batch int) renaming.FaultSpec {
+				return fault
+			},
+			FailEpoch: func(epoch int) bool { return failFlag },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.snapshotRollback = model
+		return svc
+	}
+	journaled := mk(false)
+	defer journaled.Close()
+	model := mk(true)
+	defer model.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	nextID := 1
+	for epoch := 0; epoch < epochs; epoch++ {
+		liveJ := append([]int(nil), journaled.LiveClients()...)
+		liveM := append([]int(nil), model.LiveClients()...)
+		if !reflect.DeepEqual(liveJ, liveM) {
+			t.Fatalf("seed %d epoch %d: live views diverged before the epoch: %v vs %v", seed, epoch, liveJ, liveM)
+		}
+
+		// Leaves: a random subset of the live population.
+		perm := rng.Perm(len(liveJ))
+		leaves := make([]int, 0, len(liveJ))
+		for _, idx := range perm[:rng.Intn(len(liveJ)+1)] {
+			leaves = append(leaves, liveJ[idx])
+		}
+
+		// Joins: usually within the post-leave free budget, sometimes
+		// deliberately past it to force the drained-free-list abort.
+		room := journaled.FreeNames() + len(leaves)
+		var joinCount int
+		if rng.Intn(5) == 0 {
+			joinCount = room + 1 + rng.Intn(2)
+		} else {
+			joinCount = rng.Intn(room + 1)
+		}
+		joins := make([]Client, joinCount)
+		for i := range joins {
+			joins[i] = Client{ID: nextID}
+			nextID++
+		}
+
+		// Shared per-epoch knobs: forced aborts and crash faults. Both
+		// services read the same values through their hooks.
+		failFlag = rng.Intn(4) == 0
+		fault = renaming.FaultSpec{}
+		if rng.Intn(3) == 0 {
+			fault = renaming.FaultSpec{
+				Kind:    renaming.FaultRandom,
+				Budget:  1 + rng.Intn(2),
+				Prob:    0.3,
+				MidSend: rng.Intn(2) == 0,
+			}
+		}
+
+		resJ, errJ := journaled.RunEpoch(joins, leaves)
+		resM, errM := model.RunEpoch(joins, leaves)
+		if (errJ == nil) != (errM == nil) || (errJ != nil && errJ.Error() != errM.Error()) {
+			t.Fatalf("seed %d epoch %d: errors diverged: %v vs %v", seed, epoch, errJ, errM)
+		}
+		if errJ == nil {
+			blobJ, err := json.Marshal(resJ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobM, err := json.Marshal(resM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(blobJ) != string(blobM) {
+				t.Fatalf("seed %d epoch %d: epoch results diverged:\njournal: %s\nmodel:   %s", seed, epoch, blobJ, blobM)
+			}
+		}
+		stateJ, stateM := captureState(journaled), captureState(model)
+		if !reflect.DeepEqual(stateJ, stateM) {
+			t.Fatalf("seed %d epoch %d (aborted=%v): states diverged:\njournal: %+v\nmodel:   %+v",
+				seed, epoch, resJ != nil && resJ.Aborted, stateJ, stateM)
+		}
+	}
+	if journaled.Aborts() == 0 {
+		t.Logf("seed %d: trace committed every epoch (no rollback exercised)", seed)
+	}
+}
+
+// TestJournalMatchesSnapshotModel is the deterministic property test:
+// many seeds, each a full random trace in lockstep.
+func TestJournalMatchesSnapshotModel(t *testing.T) {
+	epochs := 30
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 42, 1234}
+	if testing.Short() {
+		epochs = 15
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		runDifferentialTrace(t, seed, epochs)
+	}
+}
+
+// FuzzJournalVsSnapshot lets the fuzzer hunt for trace shapes where the
+// journal's reverse replay diverges from the full-snapshot restore.
+func FuzzJournalVsSnapshot(f *testing.F) {
+	for _, seed := range []int64{1, 77, 4096, -13} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runDifferentialTrace(t, seed, 12)
+	})
+}

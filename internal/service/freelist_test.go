@@ -2,6 +2,7 @@ package service
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -235,4 +236,54 @@ func FuzzFreeList(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestFreeListUndoExact drives random push/pop bursts across multiple
+// wrap-arounds, journaling each op's before-image, then undoes every
+// burst in reverse and requires the full list state — slots, cursors,
+// phase bits — to match a checkpoint taken before the burst. This is the
+// free-list half of the undo journal's exactness contract.
+func TestFreeListUndoExact(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 16} {
+		fl, err := NewFreeList(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + capacity)))
+		type undo struct {
+			pop  bool
+			prev int32
+		}
+		for burst := 0; burst < 50; burst++ {
+			before := fl.Checkpoint()
+			var ops []undo
+			for step := 0; step < rng.Intn(2*capacity+2); step++ {
+				if rng.Intn(2) == 0 {
+					if name, ok := fl.Pop(); ok {
+						ops = append(ops, undo{pop: true})
+						// Keep popped names around implicitly; pushes below
+						// may recycle arbitrary valid names.
+						_ = name
+					}
+				} else if !fl.Full() {
+					prev := fl.TailSlot()
+					if err := fl.Push(1 + rng.Intn(capacity)); err != nil {
+						t.Fatal(err)
+					}
+					ops = append(ops, undo{prev: prev})
+				}
+			}
+			for i := len(ops) - 1; i >= 0; i-- {
+				if ops[i].pop {
+					fl.UndoPop()
+				} else {
+					fl.UndoPush(ops[i].prev)
+				}
+			}
+			after := fl.Checkpoint()
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("capacity %d burst %d: undo did not restore the list: %+v -> %+v", capacity, burst, before, after)
+			}
+		}
+	}
 }

@@ -168,22 +168,67 @@ type EpochResult struct {
 	RoundStats *renaming.RoundStats `json:"trace,omitempty"`
 }
 
+// rankedJoin pairs a surviving joiner's link with its one-shot rank.
+type rankedJoin struct{ link, rank int }
+
 // Service is the long-lived renaming service. It is single-threaded by
 // design: epochs are stateful and strictly ordered (parallelism lives
 // inside each epoch's round engine, behind EngineWorkers).
+//
+// Per-epoch overhead is O(batch), independent of Capacity: rollback
+// records an undo journal of only the entries the epoch touches (see
+// journal.go), the sorted live view is materialized lazily from O(batch)
+// membership deltas, and the inner one-shot runs share a pooled round
+// engine through a renaming.Session.
 type Service struct {
 	cfg  Config
 	free *FreeList
 	// owner is the committed name table (AMT analog): name → client ID,
 	// 0 when free. names is the committed rename-map (RMT analog):
-	// client ID → name. live mirrors names' keys in sorted order so
-	// trace drivers observe a deterministic population.
+	// client ID → name; its key set is the authoritative live
+	// membership.
 	owner []int32
 	names map[int]int
-	live  []int
 	// uses counts grants per name; a grant of a name with uses > 0 is a
 	// recycle.
 	uses []uint32
+
+	// Incremental live view. live is the cached ascending materialization
+	// of the membership; deltaAdd/deltaDel hold the joins and leaves
+	// committed since it was last current. LiveClients folds the deltas
+	// in with one merge (O(live + batch·log batch)) instead of paying an
+	// O(live) memmove per join/leave. liveSpare double-buffers the merge
+	// and addSort is the sort scratch, so steady-state materialization
+	// allocates nothing.
+	live      []int
+	liveSpare []int
+	deltaAdd  map[int]struct{}
+	deltaDel  map[int]struct{}
+	addSort   []int
+
+	// jnl is the current epoch's undo journal (journal.go).
+	// snapshotRollback switches RunEpoch's abort path to the retained
+	// full-snapshot implementation — the model the differential property
+	// tests drive in lockstep with the journal. Production epochs always
+	// run journaled.
+	jnl              journal
+	snapshotRollback bool
+
+	// Epoch-stamped validation scratch: a map entry is "seen this epoch"
+	// iff it holds the current stamp, so the maps are never cleared —
+	// reused across epochs with zero per-epoch allocation.
+	valStamp  uint64
+	seenJoin  map[int]uint64
+	seenLeave map[int]uint64
+
+	// Reused per-epoch scratch.
+	leavesBuf []int // epoch-local copy of the leave batch
+	idsBuf    []int // joiner identities handed to the one-shot core
+	rankedBuf []rankedJoin
+
+	// session pools the one-shot round engine across epochs (worker
+	// goroutines, inbox slabs, counters); Close releases it.
+	session *renaming.Session
 
 	epoch    int
 	peakLive int
@@ -207,12 +252,28 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	return &Service{
-		cfg:   cfg,
-		free:  free,
-		owner: make([]int32, cfg.Capacity+1),
-		names: make(map[int]int),
-		uses:  make([]uint32, cfg.Capacity+1),
+		cfg:       cfg,
+		free:      free,
+		owner:     make([]int32, cfg.Capacity+1),
+		names:     make(map[int]int),
+		uses:      make([]uint32, cfg.Capacity+1),
+		deltaAdd:  make(map[int]struct{}),
+		deltaDel:  make(map[int]struct{}),
+		seenJoin:  make(map[int]uint64),
+		seenLeave: make(map[int]uint64),
+		session:   renaming.NewSession(),
 	}, nil
+}
+
+// Close releases the pooled one-shot engine (parked worker goroutines
+// and slab arenas). Optional — a finalizer covers dropped services —
+// but deterministic callers that build many services (the campaign
+// engine builds one per execution) should Close each. Nil-safe and
+// idempotent.
+func (s *Service) Close() {
+	if s != nil {
+		s.session.Close()
+	}
 }
 
 // Capacity returns the namespace size.
@@ -222,14 +283,19 @@ func (s *Service) Capacity() int { return s.cfg.Capacity }
 func (s *Service) Epoch() int { return s.epoch }
 
 // Live returns the live population.
-func (s *Service) Live() int { return len(s.live) }
+func (s *Service) Live() int { return len(s.names) }
 
 // FreeNames returns the free-list length.
 func (s *Service) FreeNames() int { return s.free.Len() }
 
-// LiveClients returns the live client IDs in ascending order. The
-// returned slice is owned by the service; callers must not mutate it.
-func (s *Service) LiveClients() []int { return s.live }
+// LiveClients returns the live client IDs in ascending order,
+// materializing any membership deltas committed since the last call.
+// The returned slice is owned by the service and valid until the next
+// mutating call (RunEpoch); callers must not mutate it.
+func (s *Service) LiveClients() []int {
+	s.materializeLive()
+	return s.live
+}
 
 // NameOf returns the committed name of a client.
 func (s *Service) NameOf(client int) (int, bool) {
@@ -237,7 +303,10 @@ func (s *Service) NameOf(client int) (int, bool) {
 	return name, ok
 }
 
-// Snapshot returns a copy of the committed client → name mapping.
+// Snapshot returns a copy of the committed client → name mapping. It is
+// O(live) — a caller/oracle convenience for state comparison, not a
+// hot-path helper: the service itself never snapshots (rollback is the
+// O(touched) undo journal, see journal.go).
 func (s *Service) Snapshot() map[int]int {
 	out := make(map[int]int, len(s.names))
 	for c, n := range s.names {
@@ -252,9 +321,72 @@ func (s *Service) Recycled() int64 { return s.totalRecycled }
 // Aborts returns the cumulative count of rolled-back epochs.
 func (s *Service) Aborts() int64 { return s.totalAborts }
 
+// liveJoin and liveLeave apply one committed membership edit to the
+// pending delta sets in O(1). A client never joins and leaves within
+// one epoch (validation rejects joiners that are live and leavers that
+// are not), but across epochs without a materialization the pairs
+// cancel: a leave of a pending add simply removes the add, and vice
+// versa, so deltaAdd ∩ live = ∅ and deltaDel ⊆ live always hold.
+func (s *Service) liveJoin(client int) {
+	if _, ok := s.deltaDel[client]; ok {
+		delete(s.deltaDel, client)
+	} else {
+		s.deltaAdd[client] = struct{}{}
+	}
+}
+
+func (s *Service) liveLeave(client int) {
+	if _, ok := s.deltaAdd[client]; ok {
+		delete(s.deltaAdd, client)
+	} else {
+		s.deltaDel[client] = struct{}{}
+	}
+}
+
+// materializeLive folds the pending membership deltas into the cached
+// sorted view with a single merge: the adds are sorted (O(batch·log
+// batch)), then merged with the previous view while entries in deltaDel
+// are dropped (O(live)). The merge writes into the spare buffer, so
+// steady state allocates nothing.
+func (s *Service) materializeLive() {
+	if len(s.deltaAdd) == 0 && len(s.deltaDel) == 0 {
+		return
+	}
+	adds := s.addSort[:0]
+	for c := range s.deltaAdd {
+		adds = append(adds, c)
+	}
+	sort.Ints(adds)
+	out := s.liveSpare[:0]
+	i := 0
+	for _, c := range adds {
+		for i < len(s.live) && s.live[i] < c {
+			if _, dead := s.deltaDel[s.live[i]]; !dead {
+				out = append(out, s.live[i])
+			}
+			i++
+		}
+		out = append(out, c)
+	}
+	for ; i < len(s.live); i++ {
+		if _, dead := s.deltaDel[s.live[i]]; !dead {
+			out = append(out, s.live[i])
+		}
+	}
+	s.addSort = adds
+	s.liveSpare = s.live
+	s.live = out
+	clear(s.deltaAdd)
+	clear(s.deltaDel)
+}
+
 // checkpoint is the full pre-epoch snapshot: free list, both mapping
-// directions, and the sorted live view. Restoring it is exact — the
-// rollback contract the property tests pin.
+// directions, and the sorted live view. Retained as the rollback
+// *model*: production epochs roll back via the undo journal
+// (journal.go, O(touched)), and the differential property tests drive
+// both implementations in lockstep to prove them equivalent — this copy
+// is O(Capacity) (~12 MB per epoch at Capacity 2^20), which is exactly
+// what the journal removed from the hot path.
 type checkpoint struct {
 	free  FreeListCheckpoint
 	owner []int32
@@ -263,6 +395,7 @@ type checkpoint struct {
 }
 
 func (s *Service) takeCheckpoint() checkpoint {
+	s.materializeLive()
 	return checkpoint{
 		free:  s.free.Checkpoint(),
 		owner: append([]int32(nil), s.owner...),
@@ -276,6 +409,9 @@ func (s *Service) restore(cp checkpoint) {
 	copy(s.owner, cp.owner)
 	s.names = cp.names
 	s.live = cp.live
+	// The checkpoint's live view predates the epoch's edits; drop them.
+	clear(s.deltaAdd)
+	clear(s.deltaDel)
 }
 
 // RunEpoch executes one epoch: release the leavers' names, run the
@@ -297,14 +433,26 @@ func (s *Service) RunEpoch(joins []Client, leaves []int) (*EpochResult, error) {
 	if err := s.validateRequests(joins, leaves); err != nil {
 		return nil, fmt.Errorf("service: epoch %d: %w", epoch, err)
 	}
-	// Copy the leave batch: processing it edits the live view, which the
-	// caller may have passed in directly (LiveClients aliases it).
-	leaves = append([]int(nil), leaves...)
+	// Copy the leave batch: the caller may have passed (a slice of) the
+	// live view, whose backing array the next materialization reuses.
+	s.leavesBuf = append(s.leavesBuf[:0], leaves...)
+	leaves = s.leavesBuf
 	s.epoch++
 
-	cp := s.takeCheckpoint()
+	var cp checkpoint
+	if s.snapshotRollback {
+		cp = s.takeCheckpoint()
+	}
+	s.jnl.reset()
+	rollback := func() {
+		if s.snapshotRollback {
+			s.restore(cp)
+		} else {
+			s.rollbackJournal()
+		}
+	}
 	abort := func(reason string) *EpochResult {
-		s.restore(cp)
+		rollback()
 		s.totalAborts++
 		res.Aborted = true
 		res.AbortReason = reason
@@ -318,23 +466,31 @@ func (s *Service) RunEpoch(joins []Client, leaves []int) (*EpochResult, error) {
 	}
 
 	// Leaves first: an epoch may recycle the names it just released.
+	if len(leaves) > 0 {
+		res.Released = make([]Release, 0, len(leaves))
+	}
 	for _, client := range leaves {
 		name := s.names[client]
+		s.jnl.record(opNamesSet, client, name)
 		delete(s.names, client)
+		s.jnl.record(opOwner, name, int(s.owner[name]))
 		s.owner[name] = 0
-		s.removeLive(client)
+		s.jnl.record(opLiveLeave, client, 0)
+		s.liveLeave(client)
+		prevSlot := s.free.TailSlot()
 		if err := s.free.Push(name); err != nil {
 			// Unreachable when the tables are consistent; surface loudly.
-			s.restore(cp)
+			rollback()
 			return nil, fmt.Errorf("service: epoch %d: %w", epoch, err)
 		}
+		s.jnl.record(opFreePush, int(prevSlot), 0)
 		res.Released = append(res.Released, Release{Client: client, Name: name})
 	}
 
 	if len(joins) > 0 {
 		oneShot, err := s.runOneShot(epoch, joins)
 		if err != nil {
-			s.restore(cp)
+			rollback()
 			return nil, fmt.Errorf("service: epoch %d: %w", epoch, err)
 		}
 		res.Rounds = oneShot.Rounds
@@ -357,31 +513,40 @@ func (s *Service) RunEpoch(joins []Client, leaves []int) (*EpochResult, error) {
 
 		// Survivors in rank order; rank order is pop order, so the i-th
 		// ranked joiner receives the i-th oldest free name.
-		type ranked struct{ link, rank int }
-		survivors := make([]ranked, 0, len(joins))
+		survivors := s.rankedBuf[:0]
 		for link, rank := range oneShot.NewIDByLink {
 			if rank >= 1 {
-				survivors = append(survivors, ranked{link: link, rank: rank})
+				survivors = append(survivors, rankedJoin{link: link, rank: rank})
 			}
 		}
+		s.rankedBuf = survivors
 		sort.Slice(survivors, func(a, b int) bool { return survivors[a].rank < survivors[b].rank })
 		if len(survivors) > s.free.Len() {
 			return abort(fmt.Sprintf("free list drained: %d survivors, %d free names", len(survivors), s.free.Len())), nil
+		}
+		if len(survivors) > 0 {
+			res.Assignments = make([]Assignment, 0, len(survivors))
 		}
 		for _, sv := range survivors {
 			name, ok := s.free.Pop()
 			if !ok {
 				return abort("free list drained mid-commit"), nil
 			}
+			s.jnl.record(opFreePop, 0, 0)
 			client := joins[sv.link].ID
 			if s.uses[name] > 0 {
 				res.Recycled++
 				s.totalRecycled++
 			}
+			// uses is deliberately not journaled: an abort keeps the grant
+			// count (see journal.go).
 			s.uses[name]++
+			s.jnl.record(opOwner, name, int(s.owner[name]))
 			s.owner[name] = int32(client)
+			s.jnl.record(opNamesDel, client, 0)
 			s.names[client] = name
-			s.insertLive(client)
+			s.jnl.record(opLiveJoin, client, 0)
+			s.liveJoin(client)
 			res.Assignments = append(res.Assignments, Assignment{Client: client, Name: name, Rank: sv.rank})
 		}
 		res.Joined = len(survivors)
@@ -392,42 +557,48 @@ func (s *Service) RunEpoch(joins []Client, leaves []int) (*EpochResult, error) {
 		return abort("fault injection"), nil
 	}
 
+	// Commit: the journal's before-images are dead weight now.
+	s.jnl.reset()
 	s.totalJoined += int64(res.Joined)
 	s.totalFailed += int64(res.FailedJoins)
 	s.totalReleased += int64(len(res.Released))
-	if len(s.live) > s.peakLive {
-		s.peakLive = len(s.live)
+	if len(s.names) > s.peakLive {
+		s.peakLive = len(s.names)
 	}
 	s.fillPopulation(res)
 	return res, nil
 }
 
 func (s *Service) fillPopulation(res *EpochResult) {
-	res.Live = len(s.live)
+	res.Live = len(s.names)
 	res.FreeNames = s.free.Len()
 	res.PeakLive = s.peakLive
 }
 
+// validateRequests checks the epoch's request stream. The seen maps are
+// epoch-stamped scratch: an entry marks its key as seen only while it
+// holds the current stamp, so the maps are reused across epochs without
+// clearing — zero allocation per epoch in steady state.
 func (s *Service) validateRequests(joins []Client, leaves []int) error {
-	seenJoin := make(map[int]bool, len(joins))
+	s.valStamp++
+	stamp := s.valStamp
 	for _, c := range joins {
 		if c.ID < 1 || c.ID > s.cfg.BigN {
 			return fmt.Errorf("joiner %d outside [1, %d]", c.ID, s.cfg.BigN)
 		}
-		if seenJoin[c.ID] {
+		if s.seenJoin[c.ID] == stamp {
 			return fmt.Errorf("duplicate joiner %d", c.ID)
 		}
-		seenJoin[c.ID] = true
+		s.seenJoin[c.ID] = stamp
 		if _, live := s.names[c.ID]; live {
 			return fmt.Errorf("joiner %d is already live", c.ID)
 		}
 	}
-	seenLeave := make(map[int]bool, len(leaves))
 	for _, client := range leaves {
-		if seenLeave[client] {
+		if s.seenLeave[client] == stamp {
 			return fmt.Errorf("duplicate leaver %d", client)
 		}
-		seenLeave[client] = true
+		s.seenLeave[client] = stamp
 		if _, live := s.names[client]; !live {
 			return fmt.Errorf("leaver %d is not live", client)
 		}
@@ -435,15 +606,18 @@ func (s *Service) validateRequests(joins []Client, leaves []int) error {
 	return nil
 }
 
-// runOneShot executes the configured core over the join batch. The
-// joiners' original identities are the protocol's input identities, so
-// the epoch's rank assignment inherits the core's guarantees verbatim.
+// runOneShot executes the configured core over the join batch on the
+// service's pooled engine (worker goroutines and slab arenas persist
+// across epochs). The joiners' original identities are the protocol's
+// input identities, so the epoch's rank assignment inherits the core's
+// guarantees verbatim.
 func (s *Service) runOneShot(epoch int, joins []Client) (*renaming.Result, error) {
 	k := len(joins)
-	ids := make([]int, k)
-	for i, c := range joins {
-		ids[i] = c.ID
+	ids := s.idsBuf[:0]
+	for _, c := range joins {
+		ids = append(ids, c.ID)
 	}
+	s.idsBuf = ids
 	seed := EpochSeed(s.cfg.Seed, epoch)
 	var fault renaming.FaultSpec
 	if s.cfg.FaultForEpoch != nil {
@@ -463,29 +637,13 @@ func (s *Service) runOneShot(epoch int, joins []Client) (*renaming.Result, error
 		if s.cfg.ByzantineForEpoch != nil {
 			spec.Byzantine = s.cfg.ByzantineForEpoch(epoch, k)
 		}
-		return renaming.RunByzantine(k, spec)
+		return s.session.RunByzantine(k, spec)
 	}
-	return renaming.RunCrash(k, renaming.CrashSpec{
+	return s.session.RunCrash(k, renaming.CrashSpec{
 		N: s.cfg.BigN, IDs: ids, Seed: seed,
 		CommitteeScale: s.cfg.CommitteeScale,
 		Fault:          fault,
 		Profile:        s.cfg.Profile,
 		EngineWorkers:  s.cfg.EngineWorkers,
 	})
-}
-
-// insertLive adds client to the sorted live view.
-func (s *Service) insertLive(client int) {
-	i := sort.SearchInts(s.live, client)
-	s.live = append(s.live, 0)
-	copy(s.live[i+1:], s.live[i:])
-	s.live[i] = client
-}
-
-// removeLive deletes client from the sorted live view.
-func (s *Service) removeLive(client int) {
-	i := sort.SearchInts(s.live, client)
-	if i < len(s.live) && s.live[i] == client {
-		s.live = append(s.live[:i], s.live[i+1:]...)
-	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -12,6 +13,7 @@ func newTestService(t *testing.T, cfg Config) *Service {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(svc.Close)
 	return svc
 }
 
@@ -135,7 +137,7 @@ func TestServiceRollbackExact(t *testing.T) {
 	}
 
 	wantMap := svc.Snapshot()
-	wantLive := append([]int(nil), svc.live...)
+	wantLive := append([]int(nil), svc.LiveClients()...)
 	wantFree := append([]int32(nil), svc.free.slots...)
 	wantHead, wantTail := svc.free.head, svc.free.tail
 	wantHP, wantTP := svc.free.headPhase, svc.free.tailPhase
@@ -160,8 +162,8 @@ func TestServiceRollbackExact(t *testing.T) {
 	if got := svc.Snapshot(); !reflect.DeepEqual(got, wantMap) {
 		t.Errorf("mapping after rollback: %v, want %v", got, wantMap)
 	}
-	if !reflect.DeepEqual(svc.live, wantLive) {
-		t.Errorf("live view after rollback: %v, want %v", svc.live, wantLive)
+	if gotLive := append([]int(nil), svc.LiveClients()...); !reflect.DeepEqual(gotLive, wantLive) {
+		t.Errorf("live view after rollback: %v, want %v", gotLive, wantLive)
 	}
 	if !reflect.DeepEqual(svc.free.slots, wantFree) ||
 		svc.free.head != wantHead || svc.free.tail != wantTail ||
@@ -280,5 +282,38 @@ func TestTraceDriverDeterministicAndBounded(t *testing.T) {
 			next++
 		}
 		live = kept
+	}
+}
+
+// TestLiveViewLazyMaterialization runs several epochs of joins and
+// leaves without ever reading the live view in between, then requires
+// one LiveClients call to fold every pending delta into the exact
+// sorted membership (the names map's key set). Also checks repeated
+// calls are stable and that Live() never depends on materialization.
+func TestLiveViewLazyMaterialization(t *testing.T) {
+	svc := newTestService(t, Config{Capacity: 16, Seed: 21})
+	if _, err := svc.RunEpoch([]Client{{ID: 9}, {ID: 4}, {ID: 30}, {ID: 12}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RunEpoch([]Client{{ID: 2}, {ID: 50}}, []int{4, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RunEpoch([]Client{{ID: 4}}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := svc.Live(), len(svc.Snapshot()); got != want {
+		t.Fatalf("Live() = %d before materialization, want %d", got, want)
+	}
+	want := make([]int, 0, svc.Live())
+	for c := range svc.Snapshot() {
+		want = append(want, c)
+	}
+	sort.Ints(want)
+	got := append([]int(nil), svc.LiveClients()...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LiveClients = %v, want %v", got, want)
+	}
+	if again := svc.LiveClients(); !reflect.DeepEqual(append([]int(nil), again...), want) {
+		t.Fatalf("second LiveClients call diverged: %v", again)
 	}
 }

@@ -68,12 +68,14 @@ type engine struct {
 
 	// Worker pool. workers is the resolved shard count P; worker 0 is the
 	// coordinator (the StepRound caller), workers 1..P-1 are long-lived
-	// goroutines parked on their cmd channel between phases.
+	// goroutines parked on their cmd channel between phases. spawned
+	// counts the goroutines actually started; a pooled engine reused at a
+	// larger n spawns only the delta.
 	reqWorkers int // WithEngineWorkers override; 0 = GOMAXPROCS
 	workers    int
 	shardLo    []int
 	shardHi    []int
-	started    bool
+	spawned    int
 	closed     bool
 	cmd        []chan int
 	ack        chan struct{}
@@ -176,30 +178,56 @@ func (s *inboxSlab) fill(total int) []Message {
 }
 
 func newEngine(nodes []Node) *engine {
-	n := len(nodes)
-	e := &engine{
-		nodes:     nodes,
-		alive:     make([]bool, n),
-		adv:       NoCrashes{},
-		metrics:   NewMetrics(),
-		crashedAt: make([]int, n),
-		byzantine: make([]bool, n),
-		rushing:   make([]bool, n),
-		inboxes:   make([][]Message, n),
-		nextInb:   make([][]Message, n),
-		inbGen:    make([]uint32, n),
-		nextGen:   make([]uint32, n),
-		outs:      make([]Outbox, n),
-		acted:     make([]bool, n),
-		aliveView: make([]bool, n),
-		filters:   make(map[int]SendFilter),
-		keepFor:   make(map[int][]bool),
+	e := &engine{}
+	e.reset(nodes)
+	return e
+}
+
+// growSpan returns s resized to length n, reusing capacity when possible.
+// Surviving contents are unspecified: callers reinitialize every entry
+// they will read (reset does exactly that).
+func growSpan[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	e.quiet = make([]Quiescent, n)
-	e.quietAt = make([]ScheduleQuiescent, n)
-	for i := range e.alive {
+	return s[:n]
+}
+
+// reset (re)initializes every per-run field for an execution over nodes,
+// reusing prior allocations — per-node tables, inbox slabs, counters,
+// metrics, worker goroutines — when their capacity suffices. A pooled
+// engine (see Pool) runs reset + option application + finishSetup per
+// lease, and the resulting observable state is exactly a fresh engine's:
+// the pooled-vs-fresh determinism tests pin bit-identical output.
+func (e *engine) reset(nodes []Node) {
+	n := len(nodes)
+	e.nodes = nodes
+	e.quiet = growSpan(e.quiet, n)
+	e.quietAt = growSpan(e.quietAt, n)
+	e.alive = growSpan(e.alive, n)
+	e.crashedAt = growSpan(e.crashedAt, n)
+	e.byzantine = growSpan(e.byzantine, n)
+	e.rushing = growSpan(e.rushing, n)
+	e.inboxes = growSpan(e.inboxes, n)
+	e.nextInb = growSpan(e.nextInb, n)
+	e.inbGen = growSpan(e.inbGen, n)
+	e.nextGen = growSpan(e.nextGen, n)
+	e.outs = growSpan(e.outs, n)
+	e.acted = growSpan(e.acted, n)
+	e.aliveView = growSpan(e.aliveView, n)
+	for i := 0; i < n; i++ {
 		e.alive[i] = true
 		e.crashedAt[i] = -1
+		e.byzantine[i] = false
+		e.rushing[i] = false
+		// Generation stamps must be zeroed AND the views dropped: a stale
+		// stamp equal to uint32(round) at round 0 would let inboxOf hand a
+		// previous run's slab view to a fresh node.
+		e.inboxes[i], e.nextInb[i] = nil, nil
+		e.inbGen[i], e.nextGen[i] = 0, 0
+		e.outs[i] = nil
+		e.acted[i] = false
+		e.quiet[i], e.quietAt[i] = nil, nil
 		if q, ok := nodes[i].(Quiescent); ok {
 			e.quiet[i] = q
 		}
@@ -207,12 +235,53 @@ func newEngine(nodes []Node) *engine {
 			e.quietAt[i] = q
 		}
 	}
+	e.adv = NoCrashes{}
+	e.peek = nil
+	if e.metrics == nil {
+		e.metrics = NewMetrics()
+	} else {
+		e.metrics.reset()
+	}
 	e.metrics.sizeFor(n)
-	return e
+	e.rushList = e.rushList[:0]
+	e.round = 0
+	e.observer = nil
+	e.digest = nil
+	e.roundEnd = e.roundEnd[:0]
+	e.reqWorkers = 0
+	e.stepped, e.prevStepped = e.stepped[:0], e.prevStepped[:0]
+	e.mergeBuf = e.mergeBuf[:0]
+	e.prevFull, e.countsFull = true, true
+	e.recip, e.prevRecip = e.recip[:0], e.prevRecip[:0]
+	if e.filters == nil {
+		e.filters = make(map[int]SendFilter)
+	} else {
+		clear(e.filters)
+	}
+	e.filterOrder = e.filterOrder[:0]
+	if e.keepFor == nil {
+		e.keepFor = make(map[int][]bool)
+	} else {
+		for node, keep := range e.keepFor {
+			delete(e.keepFor, node)
+			e.keepPool = append(e.keepPool, keep[:0])
+		}
+	}
+	e.previews = nil
+	e.rushInbox = e.rushInbox[:0]
+	e.delivered = e.delivered[:0]
+	e.expandUsed = 0
+	// lastMsgs seeds the adaptive collapse predictor; a fresh engine
+	// starts at 0, so a reused one must too or the first round's
+	// active-worker choice (and nothing else — results are identical
+	// either way, but keep reuse exactly fresh) could differ.
+	e.lastMsgs = 0
 }
 
 // finishSetup resolves the worker count and shard layout after options
-// have been applied. Workers are spawned lazily on the first StepRound.
+// have been applied. Workers are spawned lazily on the first StepRound;
+// a reused engine keeps already-spawned goroutines parked on their cmd
+// channels and only ever spawns the delta.
 func (e *engine) finishSetup() {
 	n := len(e.nodes)
 	p := e.reqWorkers
@@ -226,8 +295,8 @@ func (e *engine) finishSetup() {
 		p = 1
 	}
 	e.workers = p
-	e.shardLo = make([]int, p)
-	e.shardHi = make([]int, p)
+	e.shardLo = growSpan(e.shardLo, p)
+	e.shardHi = growSpan(e.shardHi, p)
 	base, rem := n/p, n%p
 	lo := 0
 	for w := 0; w < p; w++ {
@@ -238,16 +307,24 @@ func (e *engine) finishSetup() {
 		e.shardLo[w], e.shardHi[w] = lo, lo+size
 		lo += size
 	}
-	e.counts = make([][]int32, p)
-	for w := range e.counts {
-		e.counts[w] = make([]int32, n)
+	// Per-worker structures only grow, preserving existing buffers; the
+	// counter contents are garbage after reuse, which is safe because
+	// countsFull forces a full reset on the first coordinator-only round
+	// and parallel phaseCount zeroes its shard every round.
+	for len(e.counts) < p {
+		e.counts = append(e.counts, nil)
+	}
+	for w := 0; w < p; w++ {
+		e.counts[w] = growSpan(e.counts[w], n)
 	}
 	for par := range e.slabs {
-		e.slabs[par] = make([]inboxSlab, p)
+		for len(e.slabs[par]) < p {
+			e.slabs[par] = append(e.slabs[par], inboxSlab{})
+		}
 	}
-	e.shards = make([]metricShard, p)
-	for w := range e.shards {
-		e.shards[w].init()
+	for len(e.shards) < p {
+		e.shards = append(e.shards, metricShard{})
+		e.shards[len(e.shards)-1].init()
 	}
 	for i, r := range e.rushing {
 		if r {
@@ -270,20 +347,23 @@ func (e *engine) finishSetup() {
 const adaptiveSpill = 8192
 
 func (e *engine) ensureWorkers() {
-	if e.started {
+	if e.workers-1 <= e.spawned {
 		return
 	}
-	e.started = true
-	if e.workers == 1 {
-		return
+	for len(e.cmd) < e.workers {
+		e.cmd = append(e.cmd, nil)
 	}
-	e.cmd = make([]chan int, e.workers)
-	e.ack = make(chan struct{}, e.workers)
-	e.panics = make([]any, e.workers)
-	for w := 1; w < e.workers; w++ {
+	for len(e.panics) < e.workers {
+		e.panics = append(e.panics, nil)
+	}
+	if cap(e.ack) < e.workers {
+		e.ack = make(chan struct{}, e.workers)
+	}
+	for w := e.spawned + 1; w < e.workers; w++ {
 		e.cmd[w] = make(chan int)
 		go e.workerLoop(w)
 	}
+	e.spawned = e.workers - 1
 }
 
 func (e *engine) workerLoop(w int) {

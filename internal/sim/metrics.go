@@ -154,10 +154,35 @@ func (s *metricShard) flushRun() {
 	}
 }
 
-// sizeFor allocates the per-node counters once the network size is known.
+// reset returns the accumulator to its just-constructed state, keeping
+// map and slice capacity for reuse (pooled engines call it per lease).
+func (m *Metrics) reset() {
+	m.Messages = 0
+	m.Bits = 0
+	m.Rounds = 0
+	m.MaxMessageBits = 0
+	clear(m.PerKind)
+	clear(m.PerKindBits)
+	m.HonestMessages = 0
+	m.HonestBits = 0
+	m.CongestLimit = 0
+	m.OversizeMessages = 0
+}
+
+// sizeFor allocates (or re-zeroes) the per-node counters once the
+// network size is known.
 func (m *Metrics) sizeFor(n int) {
-	m.PerNodeSent = make([]int64, n)
-	m.PerNodeReceived = make([]int64, n)
+	if cap(m.PerNodeSent) < n || cap(m.PerNodeReceived) < n {
+		m.PerNodeSent = make([]int64, n)
+		m.PerNodeReceived = make([]int64, n)
+		return
+	}
+	m.PerNodeSent = m.PerNodeSent[:n]
+	m.PerNodeReceived = m.PerNodeReceived[:n]
+	for i := range m.PerNodeSent {
+		m.PerNodeSent[i] = 0
+		m.PerNodeReceived[i] = 0
+	}
 }
 
 // MaxNodeSent returns the largest per-link send count.

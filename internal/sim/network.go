@@ -16,6 +16,13 @@ var ErrRoundLimit = errors.New("sim: round limit exceeded before all nodes halte
 // one costs deferred goroutines, not correctness).
 type Network struct {
 	*engine
+
+	// pool, when non-nil, is the Pool this handle's engine is leased
+	// from: Close returns the lease instead of killing the workers.
+	// released makes that hand-back once-only per handle, so a late
+	// finalizer cannot un-lease an engine a newer handle holds.
+	pool     *Pool
+	released bool
 }
 
 // Option configures a Network.
@@ -134,9 +141,20 @@ func NewNetwork(nodes []Node, opts ...Option) *Network {
 	return nw
 }
 
-// Close releases the engine's worker pool. Idempotent; the Network must
-// not be stepped afterwards.
-func (nw *Network) Close() { nw.engine.close() }
+// Close releases the engine: a pooled handle returns its lease to the
+// Pool (workers stay parked for the next Acquire), a standalone handle
+// shuts its worker pool down. Idempotent; the Network must not be
+// stepped afterwards.
+func (nw *Network) Close() {
+	if nw.pool != nil {
+		if !nw.released {
+			nw.released = true
+			nw.pool.release()
+		}
+		return
+	}
+	nw.engine.close()
+}
 
 // Metrics exposes the accumulated communication metrics.
 func (nw *Network) Metrics() *Metrics { return nw.metrics }

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// poolCrasher is a deterministic adversary: it crashes one node per round
+// for the first few rounds, exercising the crashedAt/alive reset paths on
+// engine reuse. Stateful, so every execution builds a fresh value.
+type poolCrasher struct{ budget int }
+
+func (c *poolCrasher) Crashes(v View) []CrashOrder {
+	if c.budget == 0 || v.Round >= len(v.Alive) {
+		return nil
+	}
+	c.budget--
+	return []CrashOrder{{Node: (v.Round*3 + 1) % len(v.Alive)}}
+}
+
+// runFingerprint executes one echo run over nw and digests everything an
+// execution observably produces: every delivered message, final liveness,
+// and the folded metrics.
+func runFingerprint(t *testing.T, nw *Network, nodes []*echoNode, rounds int) string {
+	t.Helper()
+	defer nw.Close()
+	if err := nw.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for i, node := range nodes {
+		out += fmt.Sprintf("node%d alive=%v recv=%v\n", i, nw.Alive(i), node.received)
+	}
+	return out + nw.Metrics().String()
+}
+
+// TestPoolMatchesFreshNetwork leases one pooled engine through a sequence
+// of executions with varying sizes and worker counts — including a shrink
+// after a larger run — and requires each to be identical to the same
+// execution on a fresh Network. This is the reuse contract: reset +
+// finishSetup must leave no observable trace of the previous run.
+func TestPoolMatchesFreshNetwork(t *testing.T) {
+	shapes := []struct {
+		n, sendFor, workers, crashes int
+	}{
+		{n: 24, sendFor: 2, workers: 0, crashes: 3},
+		{n: 64, sendFor: 3, workers: 4, crashes: 5},
+		{n: 8, sendFor: 1, workers: 0, crashes: 0}, // shrink after a larger run
+		{n: 64, sendFor: 3, workers: 1, crashes: 5},
+		{n: 40, sendFor: 2, workers: 8, crashes: 0},
+	}
+	pool := NewPool()
+	defer pool.Close()
+	for _, sh := range shapes {
+		opts := func() []Option {
+			var o []Option
+			if sh.workers > 0 {
+				o = append(o, WithEngineWorkers(sh.workers))
+			}
+			if sh.crashes > 0 {
+				o = append(o, WithCrashAdversary(&poolCrasher{budget: sh.crashes}))
+			}
+			return o
+		}
+		freshNodes, freshSim := buildEcho(sh.n, sh.sendFor)
+		want := runFingerprint(t, NewNetwork(freshSim, opts()...), freshNodes, sh.sendFor+3)
+		poolNodes, poolSim := buildEcho(sh.n, sh.sendFor)
+		got := runFingerprint(t, pool.Acquire(poolSim, opts()...), poolNodes, sh.sendFor+3)
+		if got != want {
+			t.Fatalf("pooled run diverged from fresh run at shape %+v:\npooled:\n%s\nfresh:\n%s", sh, got, want)
+		}
+	}
+}
+
+// TestPoolLeaseFallback: acquiring while the engine is leased must not
+// corrupt the outstanding lease — the second Acquire degrades to a fresh
+// engine and both executions produce correct results.
+func TestPoolLeaseFallback(t *testing.T) {
+	pool := NewPool()
+	defer pool.Close()
+
+	nodesA, simA := buildEcho(6, 1)
+	nwA := pool.Acquire(simA)
+	nodesB, simB := buildEcho(6, 1)
+	nwB := pool.Acquire(simB) // pool busy: falls back to a fresh engine
+	if nwB.pool != nil {
+		t.Fatal("second Acquire during a lease should not be pool-backed")
+	}
+	if err := nwA.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := nwB.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodesA {
+		if len(nodesA[i].received) != 12 || len(nodesB[i].received) != 12 {
+			t.Fatalf("node %d received %d/%d, want 12/12",
+				i, len(nodesA[i].received), len(nodesB[i].received))
+		}
+	}
+	nwA.Close()
+	nwB.Close()
+
+	// The lease is back: the next Acquire reuses the pooled engine.
+	_, simC := buildEcho(4, 0)
+	nwC := pool.Acquire(simC)
+	if nwC.pool == nil {
+		t.Fatal("Acquire after release should be pool-backed")
+	}
+	nwC.Close()
+
+	// Close is idempotent and a double Close must not un-lease a newer
+	// handle's engine.
+	nwC.Close()
+	_, simD := buildEcho(4, 0)
+	nwD := pool.Acquire(simD)
+	nwC.Close() // stale handle: must be a no-op for nwD's lease
+	if pool.leased != true {
+		t.Fatal("stale handle Close released a newer lease")
+	}
+	nwD.Close()
+	if pool.leased {
+		t.Fatal("lease not returned")
+	}
+}
+
+// TestPoolClosedFallsBack: a closed (or nil) pool still serves correct
+// fresh networks.
+func TestPoolClosedFallsBack(t *testing.T) {
+	pool := NewPool()
+	pool.Close()
+	pool.Close() // idempotent
+	nodes, simNodes := buildEcho(5, 0)
+	nw := pool.Acquire(simNodes)
+	if nw.pool != nil {
+		t.Fatal("closed pool must hand out standalone networks")
+	}
+	if err := nw.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		if len(nodes[i].received) != 5 {
+			t.Fatalf("node %d received %d, want 5", i, len(nodes[i].received))
+		}
+	}
+	nw.Close()
+
+	var nilPool *Pool
+	nilPool.Close() // nil-safe
+	_, simNodes2 := buildEcho(3, 0)
+	nw2 := nilPool.Acquire(simNodes2)
+	if err := nw2.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	nw2.Close()
+}

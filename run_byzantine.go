@@ -103,6 +103,12 @@ type ByzSpec struct {
 // metrics. Correct nodes' results populate NewIDByLink; Byzantine links
 // are marked -1.
 func RunByzantine(n int, spec ByzSpec) (*Result, error) {
+	return runByzantine(n, spec, nil)
+}
+
+// runByzantine is RunByzantine over an optional engine pool; see runCrash
+// for the pooling contract.
+func runByzantine(n int, spec ByzSpec, pool *sim.Pool) (*Result, error) {
 	if spec.N == 0 {
 		spec.N = 8 * n
 	}
@@ -177,7 +183,7 @@ func RunByzantine(n int, spec ByzSpec) (*Result, error) {
 	if spec.CongestLimit > 0 {
 		opts = append(opts, sim.WithCongestLimit(spec.CongestLimit))
 	}
-	nw := sim.NewNetwork(simNodes, opts...)
+	nw := pool.Acquire(simNodes, opts...)
 	defer nw.Close()
 	if err := nw.Run(byzRoundBudget(cfg, len(byzLinks))); err != nil {
 		return nil, fmt.Errorf("byzantine renaming: %w", err)

@@ -113,6 +113,14 @@ type CrashSpec struct {
 // RunCrash executes the crash-resilient renaming algorithm of Section 2
 // over n nodes and returns the outcome with full communication metrics.
 func RunCrash(n int, spec CrashSpec) (*Result, error) {
+	return runCrash(n, spec, nil)
+}
+
+// runCrash is RunCrash over an optional engine pool: a nil pool builds a
+// fresh network (the one-shot entry point above), a non-nil pool leases
+// its persistent engine (Session callers). Results are bit-identical
+// either way.
+func runCrash(n int, spec CrashSpec, pool *sim.Pool) (*Result, error) {
 	if spec.N == 0 {
 		spec.N = 16 * n
 	}
@@ -163,7 +171,7 @@ func RunCrash(n int, spec CrashSpec) (*Result, error) {
 	if spec.EngineWorkers > 0 {
 		opts = append(opts, sim.WithEngineWorkers(spec.EngineWorkers))
 	}
-	nw := sim.NewNetwork(simNodes, opts...)
+	nw := pool.Acquire(simNodes, opts...)
 	defer nw.Close()
 	if err := nw.Run(cfg.TotalRounds() + 1); err != nil {
 		return nil, fmt.Errorf("crash renaming: %w", err)

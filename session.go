@@ -1,0 +1,60 @@
+package renaming
+
+import "renaming/internal/sim"
+
+// Session is a reusable execution context for the one-shot algorithms.
+//
+// The free functions RunCrash and RunByzantine build a fresh simulated
+// network for every call — per-node routing tables, per-worker delivery
+// counters, inbox slab arenas, and a freshly spawned engine worker pool —
+// and tear it all down at return. That is the right shape for a single
+// experiment, but callers that execute many runs back to back (the
+// long-lived renaming service runs one per epoch, a parameter sweep runs
+// thousands) pay that setup on every call. A Session keeps one round
+// engine alive across calls instead: worker goroutines stay parked
+// between runs, and slabs, counters, and scratch are reset rather than
+// reallocated, so steady-state per-run overhead is proportional to the
+// run itself, not to the largest network ever built.
+//
+// Results are bit-identical to the session-free entry points — the
+// pooled-vs-fresh determinism tests pin that — so a Session is purely a
+// performance handle. It is not safe for concurrent use; concurrent
+// callers should hold one Session each (a busy engine degrades to a
+// fresh network rather than corrupting a run).
+type Session struct {
+	pool *sim.Pool
+}
+
+// NewSession returns a Session with an empty engine pool. Call Close
+// when done; a finalizer reclaims sessions dropped without Close, so
+// leaking one costs deferred goroutine shutdown, not correctness.
+func NewSession() *Session {
+	return &Session{pool: sim.NewPool()}
+}
+
+// Close releases the session's engine (its parked worker goroutines and
+// arenas). Idempotent and nil-safe.
+func (s *Session) Close() {
+	if s != nil {
+		s.pool.Close()
+	}
+}
+
+// enginePool returns the underlying pool; nil on a nil Session, which
+// downgrades every run to the session-free path.
+func (s *Session) enginePool() *sim.Pool {
+	if s == nil {
+		return nil
+	}
+	return s.pool
+}
+
+// RunCrash is RunCrash executed on the session's pooled engine.
+func (s *Session) RunCrash(n int, spec CrashSpec) (*Result, error) {
+	return runCrash(n, spec, s.enginePool())
+}
+
+// RunByzantine is RunByzantine executed on the session's pooled engine.
+func (s *Session) RunByzantine(n int, spec ByzSpec) (*Result, error) {
+	return runByzantine(n, spec, s.enginePool())
+}

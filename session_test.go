@@ -1,0 +1,87 @@
+package renaming_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"renaming"
+)
+
+func resultHash(t *testing.T, res *renaming.Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestSessionMatchesOneShot runs a sequence of crash and Byzantine
+// executions — different sizes, adversaries, and worker pins, crash and
+// Byzantine interleaved on the same engine — through one Session, and
+// requires every result to hash identically to the session-free entry
+// point. A Session is purely a performance handle: reusing the engine
+// across runs (including across algorithms and shrinking n) must be
+// observationally invisible.
+func TestSessionMatchesOneShot(t *testing.T) {
+	sess := renaming.NewSession()
+	defer sess.Close()
+
+	crashSpecs := []renaming.CrashSpec{
+		{Seed: 11, CommitteeScale: 0.05, Profile: true,
+			Fault: renaming.FaultSpec{Kind: renaming.FaultCommitteeKiller, Budget: 16, MidSend: true}},
+		{Seed: 12, CommitteeScale: 0.05, Profile: true, EngineWorkers: 4,
+			Fault: renaming.FaultSpec{Kind: renaming.FaultRandom, Budget: 8, Prob: 0.02}},
+		{Seed: 13, CommitteeScale: 0.05},
+	}
+	ns := []int{96, 128, 48}
+	for i, spec := range crashSpecs {
+		// Fresh FaultSpec per run: stateful adversaries are good for one
+		// execution, so each entry point gets its own build.
+		want, err := renaming.RunCrash(ns[i], spec)
+		if err != nil {
+			t.Fatalf("crash run %d (one-shot): %v", i, err)
+		}
+		got, err := sess.RunCrash(ns[i], spec)
+		if err != nil {
+			t.Fatalf("crash run %d (session): %v", i, err)
+		}
+		if resultHash(t, got) != resultHash(t, want) {
+			t.Errorf("crash run %d: session result diverged from one-shot", i)
+		}
+	}
+
+	byzSpec := renaming.ByzSpec{
+		Seed:    21,
+		Profile: true,
+		Byzantine: map[int]renaming.Behavior{
+			3: renaming.BehaviorSplitWorld,
+			7: renaming.BehaviorRushingEquivocate,
+		},
+	}
+	want, err := renaming.RunByzantine(32, byzSpec)
+	if err != nil {
+		t.Fatalf("byz (one-shot): %v", err)
+	}
+	got, err := sess.RunByzantine(32, byzSpec)
+	if err != nil {
+		t.Fatalf("byz (session): %v", err)
+	}
+	if resultHash(t, got) != resultHash(t, want) {
+		t.Error("byz: session result diverged from one-shot")
+	}
+
+	// Nil session: every run degrades to the session-free path.
+	var nilSess *renaming.Session
+	defer nilSess.Close() // nil-safe
+	res, err := nilSess.RunCrash(48, crashSpecs[2])
+	if err != nil {
+		t.Fatalf("nil-session crash run: %v", err)
+	}
+	if !res.Unique {
+		t.Error("nil-session crash run: not unique")
+	}
+}
