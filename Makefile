@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench ci mem-smoke linkcheck experiments experiments-quick figures examples clean
+.PHONY: all build test test-short race cover bench bench-check ci mem-smoke linkcheck experiments experiments-quick figures examples clean
 
 all: build test
 
@@ -41,8 +41,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# -short everywhere, plus the full (non-short) suites for the engine
+# and the service — the shared-aggregate delivery path and the epoch
+# machinery are exactly where a data race would hide.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/sim ./internal/service
 
 cover:
 	$(GO) test -short -cover ./...
@@ -58,6 +62,21 @@ bench:
 		| $(GO) run ./cmd/benchjson -match Byz -out BENCH_byz.json \
 		| $(GO) run ./cmd/benchjson -match Crash -out BENCH_crash.json \
 		| $(GO) run ./cmd/benchjson -match Churn -out BENCH_churn.json
+
+# Re-run the sweep into throwaway ledgers and gate them against the
+# committed BENCH_*.json baselines: ns/op and peakHeap-MB may not
+# regress beyond 25% (benchjson -compare exits non-zero), so the
+# ledgers are an enforceable contract rather than write-only artifacts.
+bench-check:
+	$(GO) test -run '^$$' -bench=. -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -match Byz -out .bench_check_byz.json \
+		| $(GO) run ./cmd/benchjson -match Crash -out .bench_check_crash.json \
+		| $(GO) run ./cmd/benchjson -match Churn -out .bench_check_churn.json \
+		> /dev/null
+	$(GO) run ./cmd/benchjson -tol 0.25 -compare BENCH_byz.json .bench_check_byz.json
+	$(GO) run ./cmd/benchjson -tol 0.25 -compare BENCH_crash.json .bench_check_crash.json
+	$(GO) run ./cmd/benchjson -tol 0.25 -compare BENCH_churn.json .bench_check_churn.json
+	rm -f .bench_check_byz.json .bench_check_crash.json .bench_check_churn.json
 
 # Regenerate every table/figure of the reproduction (minutes).
 experiments:

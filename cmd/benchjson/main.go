@@ -10,6 +10,16 @@
 // b.ReportMetric units such as msgs/round). `make bench` uses it to
 // refresh BENCH_byz.json, the before/after ledger of the Byzantine-path
 // performance work.
+//
+// With -compare the command instead diffs two ledgers and exits
+// non-zero on regressions, turning the BENCH_*.json artifacts into an
+// enforceable gate (`make bench-check`):
+//
+//	benchjson -tol 0.25 -compare BENCH_crash.json new_crash.json
+//
+// A regression is a gated metric (ns/op, peakHeap-MB — where higher is
+// worse) exceeding the old value by more than the tolerance, or a
+// benchmark present in the old ledger but missing from the new one.
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,7 +51,16 @@ func main() {
 func run() error {
 	out := flag.String("out", "", "write the JSON artifact to this path (stdout keeps the raw text)")
 	match := flag.String("match", "", "only record benchmarks whose name contains this substring")
+	compare := flag.String("compare", "", "compare this old ledger against the new ledger given as the positional argument; exit non-zero on regressions")
+	tol := flag.Float64("tol", 0.25, "relative tolerance for -compare: new > old*(1+tol) on a gated metric is a regression")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			return fmt.Errorf("-compare needs exactly one positional argument (the new ledger), got %d", flag.NArg())
+		}
+		return compareLedgers(*compare, flag.Arg(0), *tol)
+	}
 
 	var records []Record
 	sc := bufio.NewScanner(os.Stdin)
@@ -79,6 +99,91 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(records), *out)
+	return nil
+}
+
+// gatedMetrics are the metrics -compare treats as regression gates:
+// higher is strictly worse. Throughput-style metrics (msgs/round) and
+// noisy allocation counters stay informational.
+var gatedMetrics = []string{"ns/op", "peakHeap-MB"}
+
+// ledger mirrors the -out artifact shape.
+type ledger struct {
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func readLedger(path string) (*ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &l, nil
+}
+
+// compareLedgers diffs newPath against oldPath and returns an error —
+// hence a non-zero exit — when a gated metric regressed beyond tol or a
+// previously-recorded benchmark disappeared. Improvements and new
+// benchmarks are reported but never fail the gate.
+func compareLedgers(oldPath, newPath string, tol float64) error {
+	oldL, err := readLedger(oldPath)
+	if err != nil {
+		return err
+	}
+	newL, err := readLedger(newPath)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]Record, len(newL.Benchmarks))
+	for _, rec := range newL.Benchmarks {
+		byName[rec.Name] = rec
+	}
+	var regressions []string
+	for _, old := range oldL.Benchmarks {
+		cur, ok := byName[old.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in %s but missing from %s", old.Name, oldPath, newPath))
+			continue
+		}
+		delete(byName, old.Name)
+		for _, metric := range gatedMetrics {
+			was, hasOld := old.Metrics[metric]
+			now, hasNew := cur.Metrics[metric]
+			if !hasOld {
+				continue
+			}
+			if !hasNew {
+				regressions = append(regressions, fmt.Sprintf("%s: metric %s missing from %s", old.Name, metric, newPath))
+				continue
+			}
+			delta := 0.0
+			if was != 0 {
+				delta = (now - was) / was
+			}
+			status := "ok"
+			if now > was*(1+tol) {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)", old.Name, metric, was, now, delta*100, tol*100))
+			}
+			fmt.Printf("%-60s %-12s %12.4g %12.4g %+8.1f%%  %s\n", old.Name, metric, was, now, delta*100, status)
+		}
+	}
+	fresh := make([]string, 0, len(byName))
+	for name := range byName {
+		fresh = append(fresh, name)
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Printf("%-60s (new benchmark, no baseline)\n", name)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s) vs %s:\n  %s", len(regressions), oldPath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchjson: %s within %.0f%% of %s\n", newPath, tol*100, oldPath)
 	return nil
 }
 

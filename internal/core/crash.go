@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"renaming/internal/interval"
 	"renaming/internal/sim"
@@ -131,6 +132,16 @@ type CrashNode struct {
 	// announced committee membership this phase.
 	committeeLinks []int
 
+	// sets is the engine's interned-set registry (sim.SetUser), letting
+	// the per-phase status multicast travel as one shared ToSet entry
+	// when this node's committee view matches the phase's canonical set;
+	// nil (or a declined intern) falls back to an explicit Multicast.
+	sets *sim.Sets
+	// agg is the run-wide shared committee aggregate (one object for all
+	// nodes, obtained through the registry's scratch slot); nil when
+	// shared multicasts are disabled.
+	agg *committeeAggregate
+
 	// Reusable scratch, all owned by this node and safe under the
 	// engine's one-round buffer slack: an outbox or payload written in
 	// round r is copied/delivered within round r and read by recipients
@@ -139,7 +150,6 @@ type CrashNode struct {
 	outBuf    sim.Outbox    // outbox reused across every round
 	statusBox StatusPayload // the one status box multicast each phase
 	respBuf   []ResponsePayload
-	statuses  []statusMsg // committeeAction: collected status pointers
 
 	// codec and the packed arenas mirror statusBox/respBuf in the
 	// bit-packed wire representation (see crashCodec): the same one-round
@@ -147,16 +157,29 @@ type CrashNode struct {
 	codec           crashCodec
 	packedStatusBox PackedStatus
 	packedRespBuf   []PackedResponse
-	statusDec       []StatusPayload // committeeAction: decoded packed statuses
-	groups          []ivGroup       // committeeAction: distinct intervals
-	groupIdx        []int32         // committeeAction: per status → group index
-	idBuf           []int           // committeeAction: per-group sorted ID buckets
-	groupOf         map[interval.Interval]int32
-	botAcc          map[interval.Interval]int
+
+	// plan is the node's private committee computation, used when this
+	// member's inbox is not the shared aggregate view (eager-multicast
+	// ablation, or a mid-send filter gave it a per-recipient merged view).
+	plan committeePlan
 }
 
 var _ sim.Node = (*CrashNode)(nil)
 var _ sim.ScheduleQuiescent = (*CrashNode)(nil)
+var _ sim.SetUser = (*CrashNode)(nil)
+
+// UseSets implements sim.SetUser: the engine hands the node its
+// interned-set registry at setup (nil disables shared multicasts). All
+// nodes of a run share one committeeAggregate through the registry's
+// scratch slot, so a committee round's inbox-pure work is computed once
+// for the whole committee.
+func (node *CrashNode) UseSets(s *sim.Sets) {
+	node.sets = s
+	node.agg = nil
+	if s != nil {
+		node.agg = s.Scratch(func() any { return new(committeeAggregate) }).(*committeeAggregate)
+	}
+}
 
 // NewCrashNode constructs the node at link index idx. The initial
 // self-election with probability 256·log n/n (Figure 1 line 2) happens
@@ -277,6 +300,22 @@ func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 			payload = &node.statusBox
 		}
 		out := node.outBuf[:0]
+		// Shared-multicast representation: when this node's committee view
+		// matches the phase's canonical set (it always does in failure-free
+		// phases — every node derives it from the same Notify broadcasts),
+		// a single ToSet entry replaces the K explicit headers. It is
+		// billed as K wire messages and delivered through the engine's
+		// shared-aggregate layer, so the convergecast costs O(n + K)
+		// engine work instead of O(n·K). Nodes whose view diverged — a
+		// committee member crashed mid-Notify and the filter dropped some
+		// copies — fall back to the explicit Multicast below.
+		if node.sets != nil && len(node.committeeLinks) > 0 {
+			if id, ok := node.sets.InternPhase(uint64(round/3), node.committeeLinks); ok {
+				out = append(out, sim.Message{From: node.idx, To: sim.ToSet(id), Payload: payload})
+				node.outBuf = out
+				return out
+			}
+		}
 		for _, link := range node.committeeLinks {
 			out = append(out, sim.Message{From: node.idx, To: link, Payload: payload})
 		}
@@ -286,7 +325,7 @@ func (node *CrashNode) Step(round int, inbox []sim.Message) sim.Outbox {
 		if !node.elected {
 			return nil
 		}
-		return node.committeeAction(inbox)
+		return node.committeeAction(round, inbox)
 	}
 }
 
@@ -310,10 +349,35 @@ type ivGroup struct {
 	hasMin bool  // some status at the frontier depth chose this interval
 }
 
-// committeeAction implements Figure 2. The committee member halves the
-// intervals of exactly the minimum-depth statuses; deeper statuses are
-// echoed unchanged (with the member's fresher p), which keeps all nodes
-// at most one depth level apart.
+// committeePlan is the inbox-pure part of one committee round: the
+// decoded statuses, the grouped halving quantities of Figure 2, and the
+// resulting per-status response decisions — everything except the
+// member's own p stamp and the message headers. Those inputs are a pure
+// function of the delivered statuses, so when every committee member is
+// bound to the same shared status aggregate one plan serves all K of
+// them (see committeeAggregate).
+type committeePlan struct {
+	statusDec []StatusPayload // decoded packed statuses (pointer-stable arena)
+	statuses  []statusMsg     // collected status pointers, inbox order
+	groups    []ivGroup       // distinct intervals
+	groupIdx  []int32         // per status → group index
+	idBuf     []int           // per-group sorted ID buckets
+	groupOf   map[interval.Interval]int32
+	botAcc    map[interval.Interval]int
+
+	// Outputs: respBase[j] is the response for statuses[j] with P left
+	// zero (stamped per member at emit time), addressed to links[j].
+	respBase []ResponsePayload
+	links    []int32
+	// maxP is the maximum p carried by any status (Figure 1 line 10);
+	// each member adopts max(own p, maxP).
+	maxP int
+}
+
+// compute fills the plan from a committee round's inbox. It implements
+// Figure 2: the member halves the intervals of exactly the
+// minimum-depth statuses; deeper statuses are echoed unchanged, which
+// keeps all nodes at most one depth level apart.
 //
 // The per-status work of the halving rule — collecting and sorting the
 // identities that chose the same interval, and counting the identities
@@ -328,37 +392,40 @@ type ivGroup struct {
 // the change that makes the n = 65536 sweeps feasible. Results are
 // byte-identical: rank and count are the same quantities, computed
 // grouped.
-func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
-	statuses := node.statuses[:0]
+func (pl *committeePlan) compute(codec *crashCodec, cfg CrashConfig, n int, inbox []sim.Message) {
+	statuses := pl.statuses[:0]
 	// Packed statuses are decoded into a pre-sized arena so the pointers
 	// collected into statuses stay valid (no growth reallocations).
-	if cap(node.statusDec) < len(inbox) {
-		node.statusDec = make([]StatusPayload, 0, len(inbox))
+	if cap(pl.statusDec) < len(inbox) {
+		pl.statusDec = make([]StatusPayload, 0, len(inbox))
 	}
-	dec := node.statusDec[:0]
+	dec := pl.statusDec[:0]
 	for _, msg := range inbox {
 		switch s := msg.Payload.(type) {
 		case *PackedStatus:
 			dec = dec[:len(dec)+1]
-			node.codec.decodeStatus(s, &dec[len(dec)-1])
+			codec.decodeStatus(s, &dec[len(dec)-1])
 			statuses = append(statuses, statusMsg{link: msg.From, s: &dec[len(dec)-1]})
 		case *StatusPayload:
 			statuses = append(statuses, statusMsg{link: msg.From, s: s})
 		}
 	}
-	node.statusDec = dec
-	node.statuses = statuses
+	pl.statusDec = dec
+	pl.statuses = statuses
+	pl.respBase = pl.respBase[:0]
+	pl.links = pl.links[:0]
+	pl.maxP = 0
 	if len(statuses) == 0 {
-		return nil
+		return
 	}
 
-	// One pass: adopt the maximum received p (Figure 1 line 10), find
-	// the frontier depth d~ = min d, and check the early-stop condition.
+	// One pass: the maximum received p (Figure 1 line 10), the frontier
+	// depth d~ = min d, and the early-stop condition.
 	minDepth := statuses[0].s.D
 	allUnit := true
 	for _, m := range statuses {
-		if m.s.P > node.p {
-			node.p = m.s.P
+		if m.s.P > pl.maxP {
+			pl.maxP = m.s.P
 		}
 		if m.s.D < minDepth {
 			minDepth = m.s.D
@@ -369,18 +436,18 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 	}
 
 	// Group statuses by distinct interval.
-	if node.groupOf == nil {
-		node.groupOf = make(map[interval.Interval]int32)
+	if pl.groupOf == nil {
+		pl.groupOf = make(map[interval.Interval]int32)
 	}
-	clear(node.groupOf)
-	groups := node.groups[:0]
-	groupIdx := node.groupIdx[:0]
+	clear(pl.groupOf)
+	groups := pl.groups[:0]
+	groupIdx := pl.groupIdx[:0]
 	for _, m := range statuses {
-		gi, ok := node.groupOf[m.s.I]
+		gi, ok := pl.groupOf[m.s.I]
 		if !ok {
 			gi = int32(len(groups))
 			groups = append(groups, ivGroup{iv: m.s.I})
-			node.groupOf[m.s.I] = gi
+			pl.groupOf[m.s.I] = gi
 		}
 		g := &groups[gi]
 		g.count++
@@ -389,15 +456,15 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 		}
 		groupIdx = append(groupIdx, gi)
 	}
-	node.groups = groups
-	node.groupIdx = groupIdx
+	pl.groups = groups
+	pl.groupIdx = groupIdx
 
 	// Bucket the IDs per group and sort the buckets that the halving
 	// rule will rank against (frontier depth, non-unit interval).
-	if cap(node.idBuf) < len(statuses) {
-		node.idBuf = make([]int, len(statuses))
+	if cap(pl.idBuf) < len(statuses) {
+		pl.idBuf = make([]int, len(statuses))
 	}
-	idBuf := node.idBuf[:len(statuses)]
+	idBuf := pl.idBuf[:len(statuses)]
 	var off int32
 	for i := range groups {
 		groups[i].start = off
@@ -418,10 +485,10 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 
 	// Accumulate |B_(u,w)| = #statuses inside bot(I) for every distinct
 	// frontier interval I, by walking each group's root path once.
-	if node.botAcc == nil {
-		node.botAcc = make(map[interval.Interval]int)
+	if pl.botAcc == nil {
+		pl.botAcc = make(map[interval.Interval]int)
 	}
-	botAcc := node.botAcc
+	botAcc := pl.botAcc
 	clear(botAcc)
 	needBot := false
 	for i := range groups {
@@ -432,7 +499,7 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 		}
 	}
 	if needBot {
-		root := interval.Full(node.n)
+		root := interval.Full(n)
 		nonTree := false
 	walk:
 		for i := range groups {
@@ -475,28 +542,12 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 		}
 	}
 
-	// Emit one response per status, in inbox order, into the reused
-	// response arena (packed when the codec layout fits); recipients read
-	// the boxes next round, before the next committee round rewrites them.
-	usePacked := node.codec.packed
-	var respBuf []ResponsePayload
-	var packedBuf []PackedResponse
-	if usePacked {
-		if cap(node.packedRespBuf) < len(statuses) {
-			node.packedRespBuf = make([]PackedResponse, len(statuses))
-		}
-		packedBuf = node.packedRespBuf[:len(statuses)]
-	} else {
-		if cap(node.respBuf) < len(statuses) {
-			node.respBuf = make([]ResponsePayload, len(statuses))
-		}
-		respBuf = node.respBuf[:len(statuses)]
-	}
-	out := node.outBuf[:0]
-	early := node.cfg.EarlyStop && allUnit
+	// Decide one response per status, in inbox order, leaving P zero for
+	// the member to stamp at emit time.
+	early := cfg.EarlyStop && allUnit
 	for j, m := range statuses {
 		w := m.s
-		resp := ResponsePayload{ID: w.ID, SizeN: node.cfg.N, SizeSmallN: node.n, Done: early}
+		resp := ResponsePayload{ID: w.ID, SizeN: cfg.N, SizeSmallN: n, Done: early}
 		switch {
 		case w.D != minDepth:
 			// Deeper than the frontier: echo unchanged (Figure 2 line 11).
@@ -523,20 +574,162 @@ func (node *CrashNode) committeeAction(inbox []sim.Message) sim.Outbox {
 				resp.I, resp.D = w.I.Top(), w.D+1
 			}
 		}
-		resp.P = node.p
-		var payload sim.Payload
-		if usePacked {
-			packedBuf[j] = node.codec.encodeResponse(resp)
-			payload = &packedBuf[j]
-		} else {
-			respBuf[j] = resp
-			payload = &respBuf[j]
-		}
-		out = append(out, sim.Message{From: node.idx, To: m.link, Payload: payload})
+		pl.respBase = append(pl.respBase, resp)
+		pl.links = append(pl.links, int32(m.link))
 	}
-	if usePacked {
+}
+
+// committeeAggregate is the run-wide shared committee computation, one
+// object for all nodes of a run (distributed through sim.Sets.Scratch).
+// In a committee round every member receives the same n statuses; when
+// the engine bound them all to one shared aggregate view the inbox
+// slice identity is shared too, and the first member to step computes
+// the plan once for everyone. It also carries a shared response arena:
+// the first member to stamp encodes the responses with its adopted p,
+// and every member whose p matches (the common case — they all adopt
+// the same maximum) reuses the same payload boxes, so a recipient sees
+// K responses carrying one box and decodes it once. Members whose p or
+// inbox diverged fall back to private encoding — the per-recipient
+// delta path.
+type committeeAggregate struct {
+	mu    sync.Mutex
+	round int
+	key   *sim.Message // &inbox[0]: identity of the shared bound view
+	n     int
+	valid bool
+	plan  committeePlan
+
+	encoded   bool
+	encP      int // p stamped into the shared arena
+	packedBuf []PackedResponse
+	respBuf   []ResponsePayload
+}
+
+// committeeAction implements Figure 2 for one member. The inbox-pure
+// plan is computed by committeePlan.compute — through the shared
+// aggregate when this member's inbox is the shared bound view (all
+// entries keep the sender's ToSet sentinel), privately otherwise.
+func (node *CrashNode) committeeAction(round int, inbox []sim.Message) sim.Outbox {
+	if len(inbox) == 0 {
+		return nil
+	}
+	// A delivered inbox whose To is still a shared sentinel is the
+	// engine's zero-copy bound view — identical (same backing array) for
+	// every member of the set. Per-recipient merged or individual views
+	// carry To == own link and take the private path.
+	if node.agg != nil && inbox[0].To < 0 {
+		return node.committeeShared(round, inbox)
+	}
+	pl := &node.plan
+	pl.compute(&node.codec, node.cfg, node.n, inbox)
+	if len(pl.respBase) == 0 {
+		return nil
+	}
+	if pl.maxP > node.p {
+		node.p = pl.maxP
+	}
+	return node.emitResponses(pl)
+}
+
+// committeeShared runs the member's committee round over the shared
+// aggregate: plan computed once per (round, view), responses encoded
+// once for the common adopted p, headers built per member.
+func (node *CrashNode) committeeShared(round int, inbox []sim.Message) sim.Outbox {
+	agg := node.agg
+	agg.mu.Lock()
+	if !agg.valid || agg.round != round || agg.key != &inbox[0] || agg.n != len(inbox) {
+		agg.round, agg.key, agg.n = round, &inbox[0], len(inbox)
+		agg.plan.compute(&node.codec, node.cfg, node.n, inbox)
+		agg.encoded = false
+		agg.valid = true
+	}
+	pl := &agg.plan
+	if len(pl.respBase) == 0 {
+		agg.mu.Unlock()
+		return nil
+	}
+	if pl.maxP > node.p {
+		node.p = pl.maxP
+	}
+	if !agg.encoded {
+		// First member to stamp encodes the shared arena with its p. All
+		// members adopt max(own p, maxP), so in the common uniform-p case
+		// everyone reuses these boxes.
+		agg.encP = node.p
+		if node.codec.packed {
+			if cap(agg.packedBuf) < len(pl.respBase) {
+				agg.packedBuf = make([]PackedResponse, len(pl.respBase))
+			}
+			buf := agg.packedBuf[:len(pl.respBase)]
+			for j, resp := range pl.respBase {
+				resp.P = node.p
+				buf[j] = node.codec.encodeResponse(resp)
+			}
+			agg.packedBuf = buf
+		} else {
+			if cap(agg.respBuf) < len(pl.respBase) {
+				agg.respBuf = make([]ResponsePayload, len(pl.respBase))
+			}
+			buf := agg.respBuf[:len(pl.respBase)]
+			for j, resp := range pl.respBase {
+				resp.P = node.p
+				buf[j] = resp
+			}
+			agg.respBuf = buf
+		}
+		agg.encoded = true
+	}
+	reuse := agg.encP == node.p
+	agg.mu.Unlock()
+	// Past this point the plan and arena are immutable for the rest of
+	// the round (the next rewrite is the next committee round, three
+	// engine barriers away), so headers are built outside the lock.
+	if !reuse {
+		// This member adopted a different p than the stamping member —
+		// encode a private arena (the rare per-member delta).
+		return node.emitResponses(pl)
+	}
+	out := node.outBuf[:0]
+	if node.codec.packed {
+		for j := range pl.respBase {
+			out = append(out, sim.Message{From: node.idx, To: int(pl.links[j]), Payload: &agg.packedBuf[j]})
+		}
+	} else {
+		for j := range pl.respBase {
+			out = append(out, sim.Message{From: node.idx, To: int(pl.links[j]), Payload: &agg.respBuf[j]})
+		}
+	}
+	node.outBuf = out
+	return out
+}
+
+// emitResponses stamps the member's p into the plan's response
+// decisions and encodes them into the node-owned arena (packed when the
+// codec layout fits); recipients read the boxes next round, before the
+// next committee round rewrites them.
+func (node *CrashNode) emitResponses(pl *committeePlan) sim.Outbox {
+	out := node.outBuf[:0]
+	if node.codec.packed {
+		if cap(node.packedRespBuf) < len(pl.respBase) {
+			node.packedRespBuf = make([]PackedResponse, len(pl.respBase))
+		}
+		packedBuf := node.packedRespBuf[:len(pl.respBase)]
+		for j, resp := range pl.respBase {
+			resp.P = node.p
+			packedBuf[j] = node.codec.encodeResponse(resp)
+			out = append(out, sim.Message{From: node.idx, To: int(pl.links[j]), Payload: &packedBuf[j]})
+		}
 		node.packedRespBuf = packedBuf
 	} else {
+		if cap(node.respBuf) < len(pl.respBase) {
+			node.respBuf = make([]ResponsePayload, len(pl.respBase))
+		}
+		respBuf := node.respBuf[:len(pl.respBase)]
+		for j, resp := range pl.respBase {
+			resp.P = node.p
+			respBuf[j] = resp
+			out = append(out, sim.Message{From: node.idx, To: int(pl.links[j]), Payload: &respBuf[j]})
+		}
 		node.respBuf = respBuf
 	}
 	node.outBuf = out
@@ -558,11 +751,20 @@ func (node *CrashNode) nodeAction(round int, inbox []sim.Message) {
 	haveBest := false
 	maxP := node.p
 	sawDone := false
+	// Committee members that reused the shared response arena all sent
+	// this node the same payload box; decode it once.
+	var lastPacked *PackedResponse
+	var lastDec ResponsePayload
 	for _, msg := range inbox {
 		var r ResponsePayload
 		switch p := msg.Payload.(type) {
 		case *PackedResponse:
-			node.codec.decodeResponse(p, &r)
+			if p == lastPacked {
+				r = lastDec
+			} else {
+				node.codec.decodeResponse(p, &r)
+				lastPacked, lastDec = p, r
+			}
 		case *ResponsePayload:
 			r = *p
 		default:

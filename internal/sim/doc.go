@@ -15,12 +15,19 @@
 //
 // # Contracts the packages above rely on
 //
-// ToAll billing: a message addressed to ToAll is a broadcast. It is
-// billed as n wire messages (sent-on-the-wire semantics — a crashed
+// Shared-multicast billing: a message addressed to ToAll (broadcast) or
+// ToSet (multicast to a set interned via Sets.InternPhase) is billed as
+// fan-out wire messages (sent-on-the-wire semantics — a crashed
 // recipient still costs the sender, as in the paper's model) but the
-// payload is stored once and every recipient's inbox view references
-// the same Message value. Payload implementations must therefore be
-// read-only after Send.
+// payload is stored once: recipients covered by exactly one shared
+// source are bound zero-copy to a shared aggregate segment, and the
+// rest receive a per-recipient merge. Expansion to individual copies
+// happens only under mid-send crash filters and rushing previews, in
+// ascending-member order — byte-identical to eager emission (the
+// WithEagerMulticast ablation pins this). Payload implementations must
+// therefore be read-only after Send. Delivered To is unspecified (a
+// bound view keeps the sender's sentinel); nodes identify themselves by
+// their own link index, and From is always the true sender.
 //
 // Quiescence: a node implementing Quiescent (or registered through
 // ScheduleQuiescent) vouches that, on rounds where it reports quiescent

@@ -139,12 +139,64 @@ type engine struct {
 	delivered   []Message
 
 	// expandBufs pools the explicit outboxes that mid-send crash filtering
-	// expands ToAll broadcasts into (keep verdicts are indexed per wire
-	// message). Buffers are reclaimed at the next evalFilters call, after
-	// phaseStep has dropped all outbox references.
+	// expands shared entries (ToAll, ToSet) into (keep verdicts are
+	// indexed per wire message). Buffers are reclaimed at the next
+	// evalFilters call, after phaseStep has dropped all outbox references.
 	expandBufs [][]Message
 	expandUsed int
 	roundEnd   []func() // coordinator hooks run at the end of every round
+
+	// Shared-aggregate delivery (ToAll broadcasts and ToSet multicasts).
+	// A sender whose round outbox is exactly one unfiltered shared entry
+	// is recorded in its worker's sharedRecs instead of the per-recipient
+	// counters; planShared (coordinator, between count and deliver) carves
+	// one aggregate segment per distinct shared target out of the parity
+	// aggregate slab and precomputes per-worker scatter cursors, so the
+	// segment comes out in global sender order. Recipients whose only
+	// traffic is a single segment are *bound* to it zero-copy (boundGen
+	// marks them — their view still carries the sender's To sentinel);
+	// recipients with several sources are merged into per-worker merge
+	// slabs by the phMerge phase. See docs/MEMORY.md.
+	sets           *Sets
+	eagerMulticast bool
+	sharedRecs     [][]sharedRec // per worker: pure-shared senders, ascending
+	sharedCur      [][]int32     // per worker × active set: scatter cursor
+	actSets        []actSet      // this round's distinct shared targets
+	aggSlabs       [2]inboxSlab  // aggregate segments, by round parity
+	aggBuf         []Message     // this round's aggregate slab fill
+	aggActive      bool
+	srcSet         []int32   // per recipient: actSets index of its named source
+	srcGen         []uint32  // stamp for srcSet
+	boundGen       []uint32  // per recipient: stamp when nextInb[i] is a raw segment
+	clsGen         []uint32  // per recipient: classification-done stamp
+	mergeList      [][]int32 // per worker: recipients needing a k-way merge
+	mergeSlabs     [2][]inboxSlab
+	wexpand        []expandPool // per worker: mixed-outbox expansion buffers
+}
+
+// sharedRec records one pure-shared sender for the scatter cursors:
+// target is the set id, or -1 for ToAll.
+type sharedRec struct {
+	from   int32
+	target int32
+}
+
+// actSet is one distinct shared target active this round: its aggregate
+// segment (a sender-ordered view into the aggregate slab) and layout.
+type actSet struct {
+	id    int // set id, -1 for ToAll
+	start int
+	total int
+	seg   []Message
+}
+
+// expandPool is one worker's buffer pool for expanding mixed outboxes
+// (shared entries alongside others) into explicit messages during the
+// count phase; buffers are reclaimed at the worker's next count phase,
+// after the round's outbox references are gone.
+type expandPool struct {
+	bufs [][]Message
+	used int
 }
 
 // Phase identifiers dispatched to the worker pool.
@@ -153,6 +205,7 @@ const (
 	phCount
 	phDeliver
 	phScatter
+	phMerge
 )
 
 // inboxSlab is one worker's per-parity message arena: each round the
@@ -215,6 +268,10 @@ func (e *engine) reset(nodes []Node) {
 	e.outs = growSpan(e.outs, n)
 	e.acted = growSpan(e.acted, n)
 	e.aliveView = growSpan(e.aliveView, n)
+	e.srcSet = growSpan(e.srcSet, n)
+	e.srcGen = growSpan(e.srcGen, n)
+	e.boundGen = growSpan(e.boundGen, n)
+	e.clsGen = growSpan(e.clsGen, n)
 	for i := 0; i < n; i++ {
 		e.alive[i] = true
 		e.crashedAt[i] = -1
@@ -225,6 +282,9 @@ func (e *engine) reset(nodes []Node) {
 		// previous run's slab view to a fresh node.
 		e.inboxes[i], e.nextInb[i] = nil, nil
 		e.inbGen[i], e.nextGen[i] = 0, 0
+		// The aggregate stamps share the zeroed-means-never convention
+		// (round stamps start at 1), so cross-run staleness is impossible.
+		e.srcGen[i], e.boundGen[i], e.clsGen[i] = 0, 0, 0
 		e.outs[i] = nil
 		e.acted[i] = false
 		e.quiet[i], e.quietAt[i] = nil, nil
@@ -271,6 +331,15 @@ func (e *engine) reset(nodes []Node) {
 	e.rushInbox = e.rushInbox[:0]
 	e.delivered = e.delivered[:0]
 	e.expandUsed = 0
+	e.eagerMulticast = false
+	e.aggActive = false
+	e.actSets = e.actSets[:0]
+	for w := range e.sharedRecs {
+		e.sharedRecs[w] = e.sharedRecs[w][:0]
+	}
+	for w := range e.mergeList {
+		e.mergeList[w] = e.mergeList[w][:0]
+	}
 	// lastMsgs seeds the adaptive collapse predictor; a fresh engine
 	// starts at 0, so a reused one must too or the first round's
 	// active-worker choice (and nothing else — results are identical
@@ -321,10 +390,41 @@ func (e *engine) finishSetup() {
 		for len(e.slabs[par]) < p {
 			e.slabs[par] = append(e.slabs[par], inboxSlab{})
 		}
+		for len(e.mergeSlabs[par]) < p {
+			e.mergeSlabs[par] = append(e.mergeSlabs[par], inboxSlab{})
+		}
 	}
 	for len(e.shards) < p {
 		e.shards = append(e.shards, metricShard{})
 		e.shards[len(e.shards)-1].init()
+	}
+	for len(e.sharedRecs) < p {
+		e.sharedRecs = append(e.sharedRecs, nil)
+	}
+	for len(e.sharedCur) < p {
+		e.sharedCur = append(e.sharedCur, nil)
+	}
+	for len(e.mergeList) < p {
+		e.mergeList = append(e.mergeList, nil)
+	}
+	for len(e.wexpand) < p {
+		e.wexpand = append(e.wexpand, expandPool{})
+	}
+	// Attach (or detach, under WithEagerMulticast) the interned-set
+	// registry on every node that shares multicasts through it. The
+	// registry is per-run: a pooled lease re-clears it here.
+	if e.sets == nil {
+		e.sets = &Sets{}
+	}
+	e.sets.reset(n)
+	reg := e.sets
+	if e.eagerMulticast {
+		reg = nil
+	}
+	for _, nd := range e.nodes {
+		if su, ok := nd.(SetUser); ok {
+			su.UseSets(reg)
+		}
 	}
 	for i, r := range e.rushing {
 		if r {
@@ -420,6 +520,8 @@ func (e *engine) phaseSpan(w, ph, lo, hi int) {
 		e.phaseDeliver(w, lo, hi)
 	case phScatter:
 		e.phaseScatter(w, lo, hi)
+	case phMerge:
+		e.phaseMerge(w)
 	}
 }
 
@@ -495,8 +597,17 @@ func (e *engine) StepRound() {
 		e.evalFilters()
 	}
 	e.runPhase(phCount)
+	e.planShared()
 	e.runPhase(phDeliver)
 	e.runPhase(phScatter)
+	if e.aggActive {
+		for w := 0; w < e.active; w++ {
+			if len(e.mergeList[w]) > 0 {
+				e.runPhase(phMerge)
+				break
+			}
+		}
+	}
 	e.foldMetrics()
 	if e.digest != nil {
 		e.emitDigest()
@@ -506,9 +617,20 @@ func (e *engine) StepRound() {
 		e.delivered = e.delivered[:0]
 		gen := uint32(e.round) + 1
 		for i := range e.nextInb {
-			if e.nextGen[i] == gen {
-				e.delivered = append(e.delivered, e.nextInb[i]...)
+			if e.nextGen[i] != gen {
+				continue
 			}
+			if e.boundGen[i] == gen {
+				// Zero-copy bound view: its entries carry the sender's
+				// shared To sentinel, so rewrite To while copying into the
+				// observer stream — byte-identical to explicit delivery.
+				for _, m := range e.nextInb[i] {
+					m.To = i
+					e.delivered = append(e.delivered, m)
+				}
+				continue
+			}
+			e.delivered = append(e.delivered, e.nextInb[i]...)
 		}
 		e.observer(e.round, e.delivered)
 	}
@@ -661,6 +783,21 @@ func (e *engine) stepRushers() {
 				}
 				continue
 			}
+			if msg.To <= toSetBase {
+				// Shared multicast: members are ascending, matching the
+				// explicit Multicast's emission (and filter-call) order.
+				for _, m := range e.sets.membersOf(toSetID(msg.To)) {
+					r := int(m)
+					if !e.rushing[r] {
+						continue
+					}
+					if filter != nil && !filter(r) {
+						continue
+					}
+					e.previews[r] = append(e.previews[r], Message{From: i, To: r, Payload: msg.Payload})
+				}
+				continue
+			}
 			if msg.To < 0 || msg.To >= n || !e.rushing[msg.To] {
 				continue
 			}
@@ -729,34 +866,49 @@ func (e *engine) evalFilters() {
 			continue
 		}
 		filter := e.filters[s]
-		out := e.expandToAll(s)
+		orig := e.outs[s]
+		out := e.expandShared(s)
 		var keep []bool
 		if k := len(e.keepPool); k > 0 {
 			keep = e.keepPool[k-1]
 			e.keepPool = e.keepPool[:k-1]
 		}
+		allKept := true
 		for k := range out {
 			to := out[k].To
 			if to < 0 || to >= n {
 				panic(fmt.Sprintf("sim: node %d sent to invalid link %d", s, to))
 			}
-			keep = append(keep, filter(to))
+			v := filter(to)
+			allKept = allKept && v
+			keep = append(keep, v)
+		}
+		if allKept && len(orig) != len(out) {
+			// The filter kept every wire message, so the expansion changed
+			// nothing observable: restore the shared representation and
+			// drop the verdicts, letting the sender rejoin the aggregate
+			// path. Only senders whose filter actually diverged pay for
+			// per-recipient deltas.
+			e.outs[s] = orig
+			e.keepPool = append(e.keepPool, keep[:0])
+			e.expandUsed--
+			continue
 		}
 		e.keepFor[s] = keep
 	}
 }
 
-// expandToAll rewrites sender s's outbox with every ToAll broadcast
-// expanded into explicit per-recipient messages, so the mid-send keep
-// verdicts index one wire message each — exactly the sequence the
-// explicit representation produced. Runs on the coordinator only, for the
-// (rare) senders crashing mid-send; buffers come from a pool reclaimed
-// once the round's outboxes are dropped.
-func (e *engine) expandToAll(s int) Outbox {
+// expandShared rewrites sender s's outbox with every shared entry (ToAll
+// broadcast, ToSet multicast) expanded into explicit per-recipient
+// messages, so the mid-send keep verdicts index one wire message each —
+// exactly the sequence the explicit representation produced. Runs on the
+// coordinator only, for the (rare) senders crashing mid-send; buffers
+// come from a pool reclaimed once the round's outboxes are dropped.
+func (e *engine) expandShared(s int) Outbox {
 	out := e.outs[s]
 	shared := false
 	for k := range out {
-		if out[k].To == ToAll {
+		if out[k].To < 0 {
 			shared = true
 			break
 		}
@@ -770,19 +922,37 @@ func (e *engine) expandToAll(s int) Outbox {
 	} else {
 		e.expandBufs = append(e.expandBufs, nil)
 	}
-	n := len(e.nodes)
-	for _, msg := range out {
-		if msg.To == ToAll {
-			for to := 0; to < n; to++ {
-				buf = append(buf, Message{From: msg.From, To: to, Payload: msg.Payload})
-			}
-			continue
-		}
-		buf = append(buf, msg)
-	}
+	buf = e.appendExpanded(buf, out)
 	e.expandBufs[e.expandUsed] = buf
 	e.expandUsed++
 	e.outs[s] = buf
+	return buf
+}
+
+// appendExpanded appends out to buf with every shared entry expanded into
+// explicit per-recipient messages, in the exact order the eager
+// representation would have emitted them: ToAll ascending over all links,
+// ToSet ascending over the set's members.
+func (e *engine) appendExpanded(buf []Message, out Outbox) []Message {
+	n := len(e.nodes)
+	for _, msg := range out {
+		switch {
+		case msg.To == ToAll:
+			for to := 0; to < n; to++ {
+				buf = append(buf, Message{From: msg.From, To: to, Payload: msg.Payload})
+			}
+		case msg.To <= toSetBase:
+			sid := toSetID(msg.To)
+			if !e.sets.valid(sid) {
+				panic(fmt.Sprintf("sim: message addressed to unknown set %d", sid))
+			}
+			for _, m := range e.sets.membersOf(sid) {
+				buf = append(buf, Message{From: msg.From, To: int(m), Payload: msg.Payload})
+			}
+		default:
+			buf = append(buf, msg)
+		}
+	}
 	return buf
 }
 
@@ -794,6 +964,8 @@ func (e *engine) phaseCount(w, lo, hi int) {
 	counts := e.counts[w]
 	sh := &e.shards[w]
 	anyFilters := len(e.filters) > 0
+	e.sharedRecs[w] = e.sharedRecs[w][:0]
+	e.wexpand[w].used = 0
 	if e.active == 1 {
 		// Coordinator-only round: reset only the counter cells the
 		// previous round dirtied (its traffic recipients — scatter left
@@ -812,7 +984,7 @@ func (e *engine) phaseCount(w, lo, hi int) {
 		e.recip = e.recip[:0]
 		sh.reset()
 		for _, i := range e.stepped {
-			e.countSender(sh, counts, i, anyFilters, true)
+			e.countSender(w, sh, counts, i, anyFilters, true)
 		}
 		return
 	}
@@ -824,7 +996,7 @@ func (e *engine) phaseCount(w, lo, hi int) {
 		if !e.acted[i] {
 			continue
 		}
-		e.countSender(sh, counts, i, anyFilters, false)
+		e.countSender(w, sh, counts, i, anyFilters, false)
 	}
 }
 
@@ -834,7 +1006,15 @@ func (e *engine) phaseCount(w, lo, hi int) {
 // (coordinator-only rounds), every recipient is appended to e.recip the
 // first time its counter leaves zero, so the deliver phase can walk just
 // the recipients with traffic.
-func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters, track bool) {
+//
+// A sender whose outbox is exactly one unfiltered shared entry (ToAll or
+// ToSet) takes the aggregate path: one addN bills the full fan-out, the
+// per-recipient counters stay untouched, and the sender joins the
+// worker's sharedRecs for planShared/scatterShared. An outbox that mixes
+// shared entries with anything else is expanded into explicit messages
+// first (worker-local buffers), preserving its emission order exactly —
+// shared targets never reach the explicit loop below.
+func (e *engine) countSender(w int, sh *metricShard, counts []int32, i int, anyFilters, track bool) {
 	out := e.outs[i]
 	if len(out) == 0 {
 		return
@@ -846,6 +1026,33 @@ func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters,
 		keep = e.keepFor[i]
 	}
 	honest := !e.byzantine[i]
+	if keep == nil && len(out) == 1 && out[0].To < 0 {
+		msg := &out[0]
+		fan, tgt := n, int32(ToAll)
+		if msg.To <= toSetBase {
+			sid := toSetID(msg.To)
+			if !e.sets.valid(sid) {
+				panic(fmt.Sprintf("sim: node %d sent to unknown set %d", i, sid))
+			}
+			fan, tgt = len(e.sets.membersOf(sid)), int32(sid)
+		}
+		// One entry, fan wire messages: Kind/Bits are evaluated once
+		// (payloads are immutable in flight), and addN accounts exactly
+		// as fan consecutive adds would.
+		sh.addN(msg.Payload.Kind(), msg.Payload.Bits(), int64(fan), honest, limit)
+		e.metrics.PerNodeSent[i] += int64(fan)
+		e.sharedRecs[w] = append(e.sharedRecs[w], sharedRec{from: int32(i), target: tgt})
+		return
+	}
+	for k := range out {
+		if out[k].To < 0 {
+			// Mixed outbox (shared entries alongside others, or several
+			// shared entries): expand to explicit messages so delivery
+			// order within the sender is preserved verbatim.
+			out = e.expandMixed(w, i, out)
+			break
+		}
+	}
 	var sent int64
 	for k := range out {
 		if keep != nil && !keep[k] {
@@ -854,26 +1061,6 @@ func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters,
 			continue
 		}
 		msg := &out[k]
-		if msg.To == ToAll {
-			// Shared broadcast: one entry, n wire messages. Kind/Bits
-			// are evaluated once (payloads are immutable in flight),
-			// and addN accounts exactly as n consecutive adds would.
-			if track {
-				for to := 0; to < n; to++ {
-					if counts[to] == 0 {
-						e.recip = append(e.recip, to)
-					}
-					counts[to]++
-				}
-			} else {
-				for to := 0; to < n; to++ {
-					counts[to]++
-				}
-			}
-			sent += int64(n)
-			sh.addN(msg.Payload.Kind(), msg.Payload.Bits(), int64(n), honest, limit)
-			continue
-		}
 		if msg.To < 0 || msg.To >= n {
 			panic(fmt.Sprintf("sim: node %d sent to invalid link %d", i, msg.To))
 		}
@@ -885,6 +1072,298 @@ func (e *engine) countSender(sh *metricShard, counts []int32, i int, anyFilters,
 		sh.add(msg.Payload.Kind(), msg.Payload.Bits(), honest, limit)
 	}
 	e.metrics.PerNodeSent[i] += sent
+}
+
+// expandMixed replaces sender i's mixed outbox with its explicit
+// expansion from worker w's buffer pool; the same worker reads the
+// rewritten outbox again in its scatter phase.
+func (e *engine) expandMixed(w, i int, out Outbox) Outbox {
+	p := &e.wexpand[w]
+	var buf []Message
+	if p.used < len(p.bufs) {
+		buf = p.bufs[p.used][:0]
+	} else {
+		p.bufs = append(p.bufs, nil)
+	}
+	buf = e.appendExpanded(buf, out)
+	p.bufs[p.used] = buf
+	p.used++
+	e.outs[i] = buf
+	return buf
+}
+
+// planShared runs on the coordinator between the count and deliver
+// phases: it discovers this round's distinct shared targets, carves one
+// aggregate segment per target out of the parity aggregate slab, and
+// seeds per-worker scatter cursors so that each segment is filled in
+// global sender order (workers ascending, senders ascending within each
+// worker — the same order the counting sort assigns explicit slots in).
+// Cost: O(shared senders + targets × workers); rounds without shared
+// traffic pay one boolean scan over the active workers.
+func (e *engine) planShared() {
+	e.actSets = e.actSets[:0]
+	e.aggActive = false
+	any := false
+	for w := 0; w < e.active; w++ {
+		if len(e.sharedRecs[w]) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	e.aggActive = true
+	for w := 0; w < e.active; w++ {
+		for _, r := range e.sharedRecs[w] {
+			if e.actIdx(r.target) < 0 {
+				e.actSets = append(e.actSets, actSet{id: int(r.target)})
+			}
+		}
+	}
+	na := len(e.actSets)
+	for w := 0; w < e.active; w++ {
+		cur := growSpan(e.sharedCur[w], na)
+		for i := 0; i < na; i++ {
+			cur[i] = 0
+		}
+		for _, r := range e.sharedRecs[w] {
+			cur[e.actIdx(r.target)]++
+		}
+		e.sharedCur[w] = cur
+	}
+	// Exclusive prefix over (target, worker): cursors become absolute
+	// write offsets into the aggregate slab.
+	off := 0
+	for i := range e.actSets {
+		a := &e.actSets[i]
+		t := int32(0)
+		for w := 0; w < e.active; w++ {
+			c := e.sharedCur[w][i]
+			e.sharedCur[w][i] = int32(off) + t
+			t += c
+		}
+		a.start, a.total = off, int(t)
+		off += int(t)
+	}
+	e.aggBuf = e.aggSlabs[e.round&1].fill(off)
+	for i := range e.actSets {
+		a := &e.actSets[i]
+		a.seg = e.aggBuf[a.start : a.start+a.total : a.start+a.total]
+	}
+}
+
+// actIdx returns the actSets index of target, or -1. Linear: a round has
+// a handful of distinct shared targets at most.
+func (e *engine) actIdx(target int32) int {
+	for i := range e.actSets {
+		if e.actSets[i].id == int(target) {
+			return i
+		}
+	}
+	return -1
+}
+
+// scatterShared writes worker w's pure-shared senders into the aggregate
+// segments at the planned cursors, stamping the true sender. Workers
+// write disjoint cursor ranges, and walking sharedRecs in order keeps
+// every segment in global sender order.
+func (e *engine) scatterShared(w int) {
+	recs := e.sharedRecs[w]
+	if len(recs) == 0 {
+		return
+	}
+	cur := e.sharedCur[w]
+	for _, r := range recs {
+		idx := e.actIdx(r.target)
+		pos := cur[idx]
+		cur[idx] = pos + 1
+		msg := e.outs[r.from][0]
+		msg.From = int(r.from)
+		e.aggBuf[pos] = msg
+	}
+}
+
+// deliverShared classifies the recipients of this round's aggregate
+// segments, after the individual views have been carved. A recipient
+// whose only traffic is a single segment is bound to it zero-copy
+// (boundGen marks the view as still carrying the sender's To sentinel);
+// a recipient with several sources — an individual view, or more than
+// one segment — is queued on the worker's merge list for phaseMerge.
+// The coordinator-only path calls this with the full [0, n) span.
+func (e *engine) deliverShared(w, lo, hi int, stamp uint32) {
+	ml := e.mergeList[w][:0]
+	toAllIdx := -1
+	for idx := range e.actSets {
+		a := &e.actSets[idx]
+		if a.id == ToAll {
+			toAllIdx = idx
+			continue
+		}
+		// Mark this worker's members of the named set; a second named
+		// source for the same recipient degrades it to "multiple".
+		members := e.sets.membersOf(a.id)
+		for j := lowerBound(members, lo); j < len(members) && int(members[j]) < hi; j++ {
+			to := int(members[j])
+			if e.srcGen[to] == stamp {
+				e.srcSet[to] = -2
+			} else {
+				e.srcGen[to] = stamp
+				e.srcSet[to] = int32(idx)
+			}
+		}
+	}
+	if toAllIdx >= 0 {
+		// Every recipient has the ToAll segment as a source.
+		for to := lo; to < hi; to++ {
+			ml = e.classifyShared(to, stamp, toAllIdx, ml)
+		}
+	} else {
+		// Only members of an active named set can have a shared source;
+		// walk those, classifying each recipient once.
+		for idx := range e.actSets {
+			members := e.sets.membersOf(e.actSets[idx].id)
+			for j := lowerBound(members, lo); j < len(members) && int(members[j]) < hi; j++ {
+				to := int(members[j])
+				if e.clsGen[to] == stamp {
+					continue
+				}
+				e.clsGen[to] = stamp
+				ml = e.classifyShared(to, stamp, -1, ml)
+			}
+		}
+	}
+	e.mergeList[w] = ml
+}
+
+// classifyShared resolves recipient to's delivery for an aggregate-active
+// round: bind (zero-copy shared view), keep the individual view as-is, or
+// queue for merge. Aggregate receive counts are credited here; individual
+// counts were credited when the view was carved.
+func (e *engine) classifyShared(to int, stamp uint32, toAllIdx int, ml []int32) []int32 {
+	namedIdx, multi := -1, false
+	if e.srcGen[to] == stamp {
+		if e.srcSet[to] == -2 {
+			multi = true
+		} else {
+			namedIdx = int(e.srcSet[to])
+		}
+	}
+	var recv int64
+	sources := 0
+	if toAllIdx >= 0 {
+		sources++
+		recv += int64(e.actSets[toAllIdx].total)
+	}
+	if multi {
+		sources += 2
+		for idx := range e.actSets {
+			a := &e.actSets[idx]
+			if a.id != ToAll && containsMember(e.sets.membersOf(a.id), to) {
+				recv += int64(a.total)
+			}
+		}
+	} else if namedIdx >= 0 {
+		sources++
+		recv += int64(e.actSets[namedIdx].total)
+	}
+	if sources == 0 {
+		return ml
+	}
+	e.metrics.PerNodeReceived[to] += recv
+	if sources == 1 && e.nextGen[to] != stamp {
+		idx := toAllIdx
+		if idx < 0 {
+			idx = namedIdx
+		}
+		e.nextInb[to] = e.actSets[idx].seg
+		e.nextGen[to] = stamp
+		e.boundGen[to] = stamp
+		return ml
+	}
+	return append(ml, int32(to))
+}
+
+// phaseMerge materializes the inboxes of recipients with several
+// delivery sources: the individual view and every covering aggregate
+// segment are k-way merged by sender into the worker's merge slab, with
+// To rewritten to the recipient during the copy. Sources are
+// sender-disjoint (a sender's round outbox is either one shared entry or
+// all-explicit), so the merge by leading From reproduces the explicit
+// representation's (sender, emission) delivery order exactly.
+func (e *engine) phaseMerge(w int) {
+	ml := e.mergeList[w]
+	if len(ml) == 0 {
+		return
+	}
+	stamp := uint32(e.round) + 1
+	var total int
+	for _, to32 := range ml {
+		to := int(to32)
+		if e.nextGen[to] == stamp {
+			total += len(e.nextInb[to])
+		}
+		total += e.aggLenFor(to)
+	}
+	slab := &e.mergeSlabs[e.round&1][w]
+	buf := slab.fill(total)
+	off := 0
+	var srcs [][]Message
+	for _, to32 := range ml {
+		to := int(to32)
+		srcs = srcs[:0]
+		if e.nextGen[to] == stamp {
+			srcs = append(srcs, e.nextInb[to])
+		}
+		for idx := range e.actSets {
+			a := &e.actSets[idx]
+			if a.total == 0 {
+				continue
+			}
+			if a.id == ToAll || containsMember(e.sets.membersOf(a.id), to) {
+				srcs = append(srcs, a.seg)
+			}
+		}
+		cnt := 0
+		for _, s := range srcs {
+			cnt += len(s)
+		}
+		view := buf[off : off : off+cnt]
+		for len(view) < cnt {
+			best := -1
+			for si := range srcs {
+				if len(srcs[si]) == 0 {
+					continue
+				}
+				if best < 0 || srcs[si][0].From < srcs[best][0].From {
+					best = si
+				}
+			}
+			msg := srcs[best][0]
+			msg.To = to
+			view = append(view, msg)
+			srcs[best] = srcs[best][1:]
+		}
+		e.nextInb[to] = view
+		e.nextGen[to] = stamp
+		off += cnt
+	}
+}
+
+// aggLenFor sums the lengths of the aggregate segments covering
+// recipient to this round.
+func (e *engine) aggLenFor(to int) int {
+	var total int
+	for idx := range e.actSets {
+		a := &e.actSets[idx]
+		if a.total == 0 {
+			continue
+		}
+		if a.id == ToAll || containsMember(e.sets.membersOf(a.id), to) {
+			total += a.total
+		}
+	}
+	return total
 }
 
 // phaseDeliver turns the per-worker counters for this shard's *recipients*
@@ -917,6 +1396,9 @@ func (e *engine) phaseDeliver(w, lo, hi int) {
 			e.nextGen[to] = stamp
 			off += cnt
 		}
+		if e.aggActive {
+			e.deliverShared(0, 0, len(e.nodes), stamp)
+		}
 		return
 	}
 	// Pass 1: size the shard's slab without disturbing the counters.
@@ -945,6 +1427,9 @@ func (e *engine) phaseDeliver(w, lo, hi int) {
 		e.nextGen[to] = stamp
 		off += int(sum)
 	}
+	if e.aggActive {
+		e.deliverShared(w, lo, hi, stamp)
+	}
 }
 
 // phaseScatter places the shard's surviving messages at their precomputed
@@ -953,6 +1438,9 @@ func (e *engine) phaseDeliver(w, lo, hi int) {
 func (e *engine) phaseScatter(w, lo, hi int) {
 	counts := e.counts[w]
 	anyFilters := len(e.filters) > 0
+	if e.aggActive {
+		e.scatterShared(w)
+	}
 	if e.active == 1 {
 		// Coordinator-only round: walk just the senders that acted. The
 		// stepped list is ascending, so offsets are still assigned in
@@ -972,9 +1460,15 @@ func (e *engine) phaseScatter(w, lo, hi int) {
 
 // scatterSender places one acted sender's surviving messages at their
 // precomputed inbox offsets — the phaseScatter per-sender body, shared by
-// the sharded scan and the coordinator-only stepped walk.
+// the sharded scan and the coordinator-only stepped walk. Shared senders
+// are skipped: scatterShared already placed their single entry in an
+// aggregate segment, and mixed outboxes were expanded during the count
+// phase, so no shared target ever reaches the per-message loop.
 func (e *engine) scatterSender(counts []int32, i int, anyFilters bool) {
 	out := e.outs[i]
+	if len(out) == 1 && out[0].To < 0 {
+		return
+	}
 	var keep []bool
 	if anyFilters {
 		keep = e.keepFor[i]
@@ -984,14 +1478,6 @@ func (e *engine) scatterSender(counts []int32, i int, anyFilters bool) {
 			continue
 		}
 		msg := out[k]
-		if msg.To == ToAll {
-			for to := 0; to < len(counts); to++ {
-				pos := counts[to]
-				counts[to] = pos + 1
-				e.nextInb[to][pos] = Message{From: i, To: to, Payload: msg.Payload}
-			}
-			continue
-		}
 		msg.From = i
 		pos := counts[msg.To]
 		counts[msg.To] = pos + 1

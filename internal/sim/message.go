@@ -16,10 +16,24 @@ type Payload interface {
 // ToAll is the shared-broadcast sentinel recipient: a single outbox entry
 // with To == ToAll fans out to every link in the network inside the
 // engine's counting-sort delivery. The payload is stored once by the
-// sender; metrics still account one wire message per recipient, and every
-// delivered inbox carries explicit recipient links — nodes never see the
-// sentinel.
+// sender; metrics still account one wire message per recipient.
 const ToAll = -1
+
+// toSetBase anchors the ToSet encoding: To == toSetBase-id addresses the
+// interned recipient set id (see Sets). ToAll keeps -1, so every To < 0
+// is a shared target and every To >= 0 an explicit link.
+const toSetBase = -2
+
+// ToSet encodes interned set id (from Sets.InternPhase) as a Message.To
+// recipient: a single outbox entry with To == ToSet(id) is a shared
+// multicast to every member of the set, billed as |set| wire messages and
+// delivered through the engine's shared-aggregate layer. Like ToAll, the
+// payload is stored once regardless of fan-out.
+func ToSet(id int) int { return toSetBase - id }
+
+// toSetID decodes a ToSet recipient back to its set id; only meaningful
+// when to <= toSetBase.
+func toSetID(to int) int { return toSetBase - to }
 
 // Message is a single point-to-point message in the synchronous network.
 // The From field is stamped by the network itself, which models message
@@ -27,8 +41,12 @@ const ToAll = -1
 type Message struct {
 	// From is the link index of the sender, stamped by the network.
 	From int
-	// To is the link index of the recipient, or ToAll for a shared
-	// broadcast expanded at delivery.
+	// To is the link index of the recipient, or a shared target (ToAll,
+	// or ToSet(id) for an interned recipient set) fanned out at delivery.
+	// In a *delivered* inbox, To is unspecified: a recipient bound
+	// zero-copy to a shared aggregate sees the sender's sentinel, so
+	// nodes must identify themselves by their own link index, never by
+	// reading To. (From is always the true sender.)
 	To int
 	// Payload is the message content.
 	Payload Payload

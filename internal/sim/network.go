@@ -116,6 +116,16 @@ func WithRoundEnd(fn func()) Option {
 	return func(e *engine) { e.roundEnd = append(e.roundEnd, fn) }
 }
 
+// WithEagerMulticast disables the interned-set shared-multicast path:
+// nodes implementing SetUser get a nil registry and therefore emit
+// explicit per-recipient Multicast messages instead of ToSet entries.
+// Billing, delivered content and delivery order are identical either way
+// — the property tests pin exactly that — so this is a testing and
+// ablation knob, never a semantics knob.
+func WithEagerMulticast() Option {
+	return func(e *engine) { e.eagerMulticast = true }
+}
+
 // WithEngineWorkers pins the engine's worker count (shards) instead of
 // the GOMAXPROCS default. Results are bit-identical at every setting —
 // the determinism tests exercise exactly that — so this is a performance
@@ -170,15 +180,26 @@ type EngineMemStats struct {
 	InboxSlabFills int64
 }
 
-// MemStats returns the engine's current inbox-slab footprint.
+// MemStats returns the engine's current inbox-slab footprint, summed
+// over the per-worker individual slabs, the shared-aggregate slabs, and
+// the merge slabs (both parities each).
 func (nw *Network) MemStats() EngineMemStats {
 	var ms EngineMemStats
+	msgSize := int64(unsafe.Sizeof(Message{}))
 	for par := range nw.slabs {
 		for w := range nw.slabs[par] {
 			s := &nw.slabs[par][w]
-			ms.InboxSlabBytes += int64(cap(s.buf)) * int64(unsafe.Sizeof(Message{}))
+			ms.InboxSlabBytes += int64(cap(s.buf)) * msgSize
 			ms.InboxSlabFills += int64(s.fills)
 		}
+		for w := range nw.mergeSlabs[par] {
+			s := &nw.mergeSlabs[par][w]
+			ms.InboxSlabBytes += int64(cap(s.buf)) * msgSize
+			ms.InboxSlabFills += int64(s.fills)
+		}
+		s := &nw.aggSlabs[par]
+		ms.InboxSlabBytes += int64(cap(s.buf)) * msgSize
+		ms.InboxSlabFills += int64(s.fills)
 	}
 	return ms
 }

